@@ -1,0 +1,48 @@
+// Ablation A1: GVT interval sweep.
+//
+// The paper chooses intervals of 25-50 "because they resulted in the best
+// overall performance". This ablation regenerates that tuning decision:
+// too small an interval makes synchronous rounds dominate (and Mattern
+// rounds churn); too large an interval delays fossil collection, grows
+// event histories, and lets communication-mode feedback run longer between
+// flushes.
+#include "figure_common.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void interval_point(benchmark::State& state, GvtKind gvt, const Workload& workload) {
+  SimulationConfig cfg = figure_config(8);
+  cfg.gvt = gvt;
+  cfg.gvt_interval = static_cast<int>(state.range(0));
+  SimulationResult result;
+  for (auto _ : state) result = core::run_phold(cfg, workload);
+  export_counters(state, result);
+  state.counters["max_history"] = static_cast<double>(result.events.max_history);
+}
+
+void BM_MatternComp(benchmark::State& state) {
+  interval_point(state, GvtKind::kMattern, Workload::computation());
+}
+void BM_BarrierComp(benchmark::State& state) {
+  interval_point(state, GvtKind::kBarrier, Workload::computation());
+}
+void BM_BarrierComm(benchmark::State& state) {
+  interval_point(state, GvtKind::kBarrier, Workload::communication());
+}
+void BM_CaComm(benchmark::State& state) {
+  interval_point(state, GvtKind::kControlledAsync, Workload::communication());
+}
+
+#define CAGVT_INTERVAL_SWEEP(fn) \
+  BENCHMARK(fn)->ArgName("interval")->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+CAGVT_INTERVAL_SWEEP(BM_MatternComp);
+CAGVT_INTERVAL_SWEEP(BM_BarrierComp);
+CAGVT_INTERVAL_SWEEP(BM_BarrierComm);
+CAGVT_INTERVAL_SWEEP(BM_CaComm);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

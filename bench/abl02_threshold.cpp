@@ -1,0 +1,40 @@
+// Ablation A2: CA-GVT efficiency-threshold sweep on the 10-15 mixed model.
+//
+// The paper uses an 80% threshold and notes "the percentage of the
+// simulation executed synchronously by CA-GVT is dependent on the
+// efficiency threshold". Threshold 0 degenerates to pure Mattern; a
+// threshold near 100% forces near-constant synchrony (approaching Barrier
+// behaviour plus token overhead).
+#include "figure_common.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void BM_Threshold(benchmark::State& state) {
+  SimulationConfig cfg = figure_config(8);
+  cfg.gvt = GvtKind::kControlledAsync;
+  cfg.ca_efficiency_threshold = static_cast<double>(state.range(0)) / 100.0;
+  SimulationResult result;
+  for (auto _ : state) result = core::run_mixed(cfg, 10, 15);
+  export_counters(state, result);
+  state.counters["sync_fraction_pct"] =
+      result.gvt_rounds == 0 ? 0.0
+                             : 100.0 * static_cast<double>(result.sync_rounds) /
+                                   static_cast<double>(result.gvt_rounds);
+}
+
+BENCHMARK(BM_Threshold)
+    ->ArgName("threshold_pct")
+    ->Arg(0)
+    ->Arg(60)
+    ->Arg(70)
+    ->Arg(80)
+    ->Arg(90)
+    ->Arg(99)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Ablation A3: the full MPI placement spectrum, including the
+// "everywhere" mode the paper's introduction argues against (every thread
+// makes its own MPI calls through the library's lock, cf. Amer et al. [2]
+// on MPI+threads lock contention).
+//
+// Expected ordering under communication load:
+//   dedicated > combined >> everywhere
+// with the lock-wait counter exposing the contention the everywhere mode
+// suffers.
+#include "figure_common.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void placement_point(benchmark::State& state, MpiPlacement mpi, const Workload& workload) {
+  SimulationConfig cfg = figure_config(static_cast<int>(state.range(0)));
+  cfg.gvt = GvtKind::kMattern;
+  cfg.mpi = mpi;
+  SimulationResult result;
+  for (auto _ : state) result = core::run_phold(cfg, workload);
+  export_counters(state, result);
+  state.counters["lock_wait_thread_s"] = result.lock_wait_seconds;
+}
+
+void BM_DedicatedComm(benchmark::State& state) {
+  placement_point(state, MpiPlacement::kDedicated, Workload::communication());
+}
+void BM_CombinedComm(benchmark::State& state) {
+  placement_point(state, MpiPlacement::kCombined, Workload::communication());
+}
+void BM_EverywhereComm(benchmark::State& state) {
+  placement_point(state, MpiPlacement::kEverywhere, Workload::communication());
+}
+
+CAGVT_SERIES(BM_DedicatedComm);
+CAGVT_SERIES(BM_CombinedComm);
+CAGVT_SERIES(BM_EverywhereComm);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

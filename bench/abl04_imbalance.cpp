@@ -1,0 +1,50 @@
+// Ablation A4: imbalanced model — a quarter of each node's workers host
+// "hot" LPs whose events cost 4x the base EPG.
+//
+// The paper (and its predecessor, Eker et al. DS-RT 2018) observes that
+// synchronous GVT tolerates imbalance better: barriers stop fast threads
+// from racing far ahead of the loaded ones, containing the straggler
+// traffic the imbalance would otherwise generate.
+#include "figure_common.hpp"
+
+#include "models/imbalanced_phold.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void imbalance_point(benchmark::State& state, GvtKind gvt, double hot_factor) {
+  SimulationConfig cfg = figure_config(8);
+  cfg.gvt = gvt;
+  const pdes::LpMap map = core::Simulation::make_map(cfg);
+  models::ImbalancedPholdParams params;
+  params.base = Workload::computation().phold();
+  params.hot_worker_fraction = 0.25;
+  params.hot_factor = hot_factor;
+  const models::ImbalancedPholdModel model(map, params);
+  core::Simulation sim(cfg, model);
+  SimulationResult result;
+  for (auto _ : state) result = sim.run();
+  export_counters(state, result);
+}
+
+void BM_Mattern(benchmark::State& state) {
+  imbalance_point(state, GvtKind::kMattern, static_cast<double>(state.range(0)));
+}
+void BM_Barrier(benchmark::State& state) {
+  imbalance_point(state, GvtKind::kBarrier, static_cast<double>(state.range(0)));
+}
+void BM_CaGvt(benchmark::State& state) {
+  imbalance_point(state, GvtKind::kControlledAsync, static_cast<double>(state.range(0)));
+}
+
+#define CAGVT_HOT_SWEEP(fn) \
+  BENCHMARK(fn)->ArgName("hot_factor")->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+CAGVT_HOT_SWEEP(BM_Mattern);
+CAGVT_HOT_SWEEP(BM_Barrier);
+CAGVT_HOT_SWEEP(BM_CaGvt);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

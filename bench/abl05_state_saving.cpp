@@ -1,0 +1,57 @@
+// Ablation A5: rollback mechanism — state checkpointing vs reverse
+// computation (ROSS's native mode), on the same PHOLD workload.
+//
+// Reverse computation skips the per-event checkpoint (a copy cost on the
+// forward path) at the price of an inverse handler call during rollback.
+// Expected: a modest rate edge and a lower memory footprint for reverse
+// computation in high-efficiency workloads; the gap narrows when rollbacks
+// are frequent.
+#include <memory>
+
+#include "figure_common.hpp"
+
+#include "models/reverse_phold.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void state_saving_point(benchmark::State& state, bool reverse, const Workload& workload) {
+  SimulationConfig cfg = figure_config(static_cast<int>(state.range(0)));
+  cfg.gvt = GvtKind::kMattern;
+  const pdes::LpMap map = core::Simulation::make_map(cfg);
+  const models::PholdParams params = workload.phold();
+  std::unique_ptr<pdes::Model> model;
+  if (reverse) {
+    model = std::make_unique<models::ReversePholdModel>(map, params);
+  } else {
+    model = std::make_unique<models::PholdModel>(map, params);
+  }
+  core::Simulation sim(cfg, *model);
+  SimulationResult result;
+  for (auto _ : state) result = sim.run();
+  export_counters(state, result);
+  state.counters["max_history"] = static_cast<double>(result.events.max_history);
+}
+
+void BM_CheckpointComp(benchmark::State& state) {
+  state_saving_point(state, /*reverse=*/false, Workload::computation());
+}
+void BM_ReverseComp(benchmark::State& state) {
+  state_saving_point(state, /*reverse=*/true, Workload::computation());
+}
+void BM_CheckpointComm(benchmark::State& state) {
+  state_saving_point(state, /*reverse=*/false, Workload::communication());
+}
+void BM_ReverseComm(benchmark::State& state) {
+  state_saving_point(state, /*reverse=*/true, Workload::communication());
+}
+
+CAGVT_SERIES(BM_CheckpointComp);
+CAGVT_SERIES(BM_ReverseComp);
+CAGVT_SERIES(BM_CheckpointComm);
+CAGVT_SERIES(BM_ReverseComm);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

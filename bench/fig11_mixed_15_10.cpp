@@ -1,0 +1,21 @@
+// Figure 11: the 15-10 mixed model (computation-leaning mix). Paper result
+// at 8 nodes: CA-GVT beats Mattern by 6.9% and Barrier by 12.7%.
+#include "figure_common.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void BM_Mattern(benchmark::State& state) { run_mixed_point(state, GvtKind::kMattern, 15, 10); }
+void BM_Barrier(benchmark::State& state) { run_mixed_point(state, GvtKind::kBarrier, 15, 10); }
+void BM_CaGvt(benchmark::State& state) {
+  run_mixed_point(state, GvtKind::kControlledAsync, 15, 10);
+}
+
+CAGVT_SERIES(BM_Mattern);
+CAGVT_SERIES(BM_Barrier);
+CAGVT_SERIES(BM_CaGvt);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary regenerates one figure/table of the paper: each
+// google-benchmark "benchmark" is one series (a GVT algorithm / MPI
+// placement combination) swept over the node counts on the figure's
+// x-axis. The simulator is deterministic, so each point runs exactly once
+// (Iterations(1)); the paper's metrics are exported as benchmark counters:
+//
+//   rate_events_s   committed event rate (the y-axis of Figures 3-12)
+//   efficiency_pct  committed / processed
+//   rollbacks       events undone
+//   gvt_rounds / sync_rounds
+//   sim_wall_s      simulated wall-clock duration of the run
+//
+// CAGVT_BENCH_SCALE scales the per-node thread/LP counts (see
+// core/experiment.hpp); the default finishes the whole bench suite in
+// minutes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+
+namespace cagvt::bench {
+
+using core::GvtKind;
+using core::MpiPlacement;
+using core::SimulationConfig;
+using core::SimulationResult;
+using core::Workload;
+
+inline SimulationConfig figure_config(int nodes) {
+  return core::scaled_config(nodes, core::bench_scale_from_env());
+}
+
+inline void export_counters(benchmark::State& state, const SimulationResult& r) {
+  state.counters["rate_events_s"] = r.committed_rate;
+  state.counters["efficiency_pct"] = r.efficiency * 100.0;
+  state.counters["rollbacks"] = static_cast<double>(r.events.rolled_back);
+  state.counters["gvt_rounds"] = static_cast<double>(r.gvt_rounds);
+  state.counters["sync_rounds"] = static_cast<double>(r.sync_rounds);
+  state.counters["sim_wall_s"] = r.wall_seconds;
+  state.counters["lvt_disparity"] = r.avg_lvt_disparity;
+  state.counters["completed"] = r.completed ? 1 : 0;
+}
+
+/// One figure point: PHOLD under `workload` with the given algorithm and
+/// placement, nodes taken from the benchmark argument.
+inline void run_phold_point(benchmark::State& state, GvtKind gvt, MpiPlacement mpi,
+                            const Workload& workload) {
+  SimulationConfig cfg = figure_config(static_cast<int>(state.range(0)));
+  cfg.gvt = gvt;
+  cfg.mpi = mpi;
+  SimulationResult result;
+  for (auto _ : state) result = core::run_phold(cfg, workload);
+  export_counters(state, result);
+}
+
+/// One mixed-model figure point (Figures 10-12). Mixed runs use a longer
+/// virtual horizon so each communication phase lasts long enough for its
+/// characteristic rollback dynamics to develop (the paper's phases span
+/// minutes of execution).
+inline void run_mixed_point(benchmark::State& state, GvtKind gvt, double x_pct, double y_pct,
+                            double end_vt = 150.0) {
+  SimulationConfig cfg = figure_config(static_cast<int>(state.range(0)));
+  cfg.end_vt = end_vt;
+  cfg.gvt = gvt;
+  SimulationResult result;
+  for (auto _ : state) result = core::run_mixed(cfg, x_pct, y_pct);
+  export_counters(state, result);
+}
+
+}  // namespace cagvt::bench
+
+/// Registers one series swept over the paper's node counts (1, 2, 4, 8).
+#define CAGVT_SERIES(fn) \
+  BENCHMARK(fn)->ArgName("nodes")->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond)

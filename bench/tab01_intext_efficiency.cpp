@@ -1,0 +1,50 @@
+// "Table 1": the in-text metrics of Section 4 at 8 nodes — efficiency,
+// rollback counts, LVT disparity, simulated wall time and time in the GVT
+// function for Mattern and Barrier under both canonical workloads.
+//
+// Paper reference points (8 nodes):
+//   Mattern comp->comm: rollbacks x6.4, efficiency 92.08% -> 64.24%
+//   Barrier comp->comm: wall 21.05s -> 25.64s, GVT function 8.92s -> 31.38s
+//   LVT disparity (comm): Barrier 0.31 vs Mattern 0.43
+//   Barrier comm efficiency 94.2% vs Mattern 64.3%
+#include "figure_common.hpp"
+
+namespace cagvt::bench {
+namespace {
+
+void table_point(benchmark::State& state, GvtKind gvt, const Workload& workload) {
+  SimulationConfig cfg = figure_config(8);
+  cfg.gvt = gvt;
+  SimulationResult result;
+  for (auto _ : state) result = core::run_phold(cfg, workload);
+  export_counters(state, result);
+  state.counters["gvt_round_s"] = result.gvt_round_seconds;
+  state.counters["gvt_block_thread_s"] = result.gvt_block_seconds;
+  state.counters["lock_wait_thread_s"] = result.lock_wait_seconds;
+  state.counters["remote_msgs"] = static_cast<double>(result.remote_msgs);
+  state.counters["regional_msgs"] = static_cast<double>(result.regional_msgs);
+  state.counters["stragglers"] = static_cast<double>(result.events.stragglers);
+}
+
+void BM_MatternComp(benchmark::State& state) {
+  table_point(state, GvtKind::kMattern, Workload::computation());
+}
+void BM_MatternComm(benchmark::State& state) {
+  table_point(state, GvtKind::kMattern, Workload::communication());
+}
+void BM_BarrierComp(benchmark::State& state) {
+  table_point(state, GvtKind::kBarrier, Workload::computation());
+}
+void BM_BarrierComm(benchmark::State& state) {
+  table_point(state, GvtKind::kBarrier, Workload::communication());
+}
+
+BENCHMARK(BM_MatternComp)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatternComm)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BarrierComp)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BarrierComm)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cagvt::bench
+
+BENCHMARK_MAIN();

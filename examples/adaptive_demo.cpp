@@ -1,0 +1,44 @@
+// Demonstrates CA-GVT's adaptivity on the paper's mixed 10-15 model: the
+// workload alternates computation-dominated and communication-dominated
+// phases, and CA-GVT switches between asynchronous and synchronous rounds
+// as measured efficiency crosses the threshold — ending up faster than
+// both pure algorithms.
+//
+//   ./build/examples/adaptive_demo [--nodes=8] [--threshold=0.8]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/config.hpp"
+
+using namespace cagvt;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const int nodes = static_cast<int>(opts.get_int("nodes", 8));
+  const double threshold = opts.get_double("threshold", 0.8);
+
+  core::SimulationConfig cfg = core::scaled_config(nodes, core::bench_scale_from_env());
+  cfg.end_vt = 150.0;  // long enough for each phase's dynamics to develop
+  cfg.ca_efficiency_threshold = threshold;
+
+  std::printf("Mixed 10-15 PHOLD model on %d nodes (CA threshold %.0f%%)\n", nodes,
+              threshold * 100);
+  std::printf("phases: 10%% of the run computation-dominated, 15%% communication-"
+              "dominated, repeating\n\n");
+
+  double rates[3] = {0, 0, 0};
+  int i = 0;
+  for (const core::GvtKind kind :
+       {core::GvtKind::kMattern, core::GvtKind::kBarrier, core::GvtKind::kControlledAsync}) {
+    cfg.gvt = kind;
+    const core::SimulationResult r = core::run_mixed(cfg, 10, 15);
+    rates[i++] = r.committed_rate;
+    std::printf("%-9s: %s\n", std::string(to_string(kind)).c_str(),
+                core::describe(r).c_str());
+  }
+
+  std::printf("\nCA-GVT vs Mattern: %+.1f%%   CA-GVT vs Barrier: %+.1f%%\n",
+              (rates[2] / rates[0] - 1) * 100, (rates[2] / rates[1] - 1) * 100);
+  std::printf("(paper, Figure 10: CA-GVT beats Mattern by 8.3%% and Barrier by 6.4%%)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate a PHOLD workload on a virtual 4-node cluster and
+// compare the three GVT algorithms in ~40 lines of user code.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "models/phold.hpp"
+#include "util/stats.hpp"
+
+using namespace cagvt;
+
+int main() {
+  // 1. Describe the cluster: 4 nodes, 7 hardware threads each (one will be
+  //    the dedicated MPI thread), 32 LPs per worker thread.
+  core::SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 7;
+  cfg.lps_per_worker = 32;
+  cfg.end_vt = 30.0;       // run until GVT passes virtual time 30
+  cfg.gvt_interval = 12;   // GVT round every 12 worker-loop iterations
+
+  // 2. Describe the workload: classic PHOLD with 10% of events crossing
+  //    threads and 1% crossing nodes, ~10K FLOPs per event.
+  models::PholdParams phold;
+  phold.regional_pct = 0.10;
+  phold.remote_pct = 0.01;
+  phold.epg_units = 10000;
+
+  // 3. Run the same workload under each GVT algorithm.
+  std::printf("%-10s %14s %12s %12s %10s\n", "gvt", "events/s", "efficiency",
+              "rollbacks", "rounds");
+  for (const core::GvtKind kind :
+       {core::GvtKind::kBarrier, core::GvtKind::kMattern, core::GvtKind::kControlledAsync}) {
+    cfg.gvt = kind;
+    const pdes::LpMap map = core::Simulation::make_map(cfg);
+    const models::PholdModel model(map, phold);
+    core::Simulation sim(cfg, model);
+    const core::SimulationResult result = sim.run();
+    std::printf("%-10s %14s %11.2f%% %12llu %10llu\n",
+                std::string(to_string(kind)).c_str(),
+                format_si(result.committed_rate).c_str(), result.efficiency * 100,
+                static_cast<unsigned long long>(result.events.rolled_back),
+                static_cast<unsigned long long>(result.gvt_rounds));
+  }
+  return 0;
+}

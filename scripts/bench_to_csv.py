@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Parse google-benchmark console output from the CA-GVT bench suite into
+CSV series, one row per figure point.
+
+Usage:
+    for b in build/bench/*; do echo "=== $(basename $b)"; $b; done > bench_output.txt
+    python3 scripts/bench_to_csv.py bench_output.txt > figures.csv
+
+Columns: figure, series, x (nodes / interval / threshold / hot_factor),
+rate_events_s, efficiency_pct, rollbacks, gvt_rounds, sync_rounds,
+sim_wall_s.
+"""
+
+import re
+import sys
+
+ROW = re.compile(r"^(BM_\w+)(?:/(\w+):(\d+))?/iterations:1\s")
+COUNTER = re.compile(r"(\w+)=([-\d.eku]+[MKGmu]?)")
+
+SUFFIX = {"k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "m": 1e-3, "u": 1e-6}
+
+
+def parse_value(text: str) -> float:
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main(path: str) -> None:
+    figure = "?"
+    fields = [
+        "rate_events_s",
+        "efficiency_pct",
+        "rollbacks",
+        "gvt_rounds",
+        "sync_rounds",
+        "sim_wall_s",
+    ]
+    print("figure,series,x," + ",".join(fields))
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("==="):
+                figure = line.split()[-1]
+                continue
+            match = ROW.match(line)
+            if not match:
+                continue
+            series = match.group(1).removeprefix("BM_")
+            x = match.group(3) or ""
+            counters = {k: parse_value(v) for k, v in COUNTER.findall(line)}
+            values = [repr(counters.get(f, "")) for f in fields]
+            print(f"{figure},{series},{x}," + ",".join(v.strip("'") for v in values))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

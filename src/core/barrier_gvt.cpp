@@ -1,0 +1,78 @@
+#include "core/barrier_gvt.hpp"
+
+namespace cagvt::core {
+
+using metasim::delay;
+using metasim::Process;
+
+Process BarrierGvt::worker_tick(WorkerCtx& worker) {
+  if (worker.gvt.iters_since_round < node_.cfg().gvt_interval) co_return;
+  worker.gvt.iters_since_round = 0;
+
+  // In combined/everywhere placements worker 0 doubles as the MPI agent
+  // and performs the cross-node steps of the round inline.
+  const bool agent_inline = worker.mpi_duty && !node_.cfg().has_dedicated_mpi();
+  if (!round_active_) {
+    round_active_ = true;  // signals the dedicated MPI thread to join
+    round_started_ = node_.engine().now();
+  }
+  auto& collectives = node_.collectives();
+
+  // Phase 1: block until no event message is in transit anywhere.
+  // Messages are read (counted) but their rollback processing is deferred
+  // past the round, as in ROSS — otherwise cascades would keep the round
+  // alive.
+  while (true) {
+    co_await node_.read_messages_deferred(worker);  // ReadMessages()
+    if (agent_inline) {
+      bool pump = false;
+      co_await node_.mpi_progress(&pump);  // keep remote messages moving
+    }
+    const std::int64_t msg_count = worker.gvt.msgs_sent - worker.gvt.msgs_recv;
+    if (agent_inline) {
+      co_await collectives.sum_agent(msg_count);
+    } else {
+      co_await collectives.sum(msg_count);
+    }
+    if (collectives.last_sum() == 0) break;
+  }
+
+  // Phase 2: reduce the minimum local virtual position into the GVT.
+  // (Round index snapshotted before the barrier: the agent may close the
+  // round while adopters are still running at the same timestamp.)
+  const std::uint64_t round = round_no_;
+  const double local_min = NodeRuntime::worker_min_ts(worker);
+  if (agent_inline) {
+    co_await collectives.min_agent(local_min);
+  } else {
+    co_await collectives.min(local_min);
+  }
+  const double gvt = collectives.last_min();
+
+  const std::uint64_t committed = node_.adopt_gvt(worker, gvt, round);
+  co_await delay(node_.cfg().cluster.fossil_per_event *
+                 static_cast<metasim::SimTime>(committed));
+  if (agent_inline) close_round();
+  // Round over: hand the buffered messages to the engine (rollbacks and
+  // their anti-messages happen now, as post-round traffic).
+  co_await node_.flush_round_buffer(worker);
+}
+
+Process BarrierGvt::agent_tick(WorkerCtx* self) {
+  // Only the dedicated MPI thread runs the agent side from here; in
+  // combined/everywhere placements worker 0 handles it inline above.
+  (void)self;
+  if (!node_.cfg().has_dedicated_mpi() || !round_active_) co_return;
+
+  auto& collectives = node_.collectives();
+  while (true) {
+    bool pump = false;
+    co_await node_.mpi_progress(&pump);
+    co_await collectives.sum_agent(0);  // the MPI thread owns no LPs
+    if (collectives.last_sum() == 0) break;
+  }
+  co_await collectives.min_agent(pdes::kVtInfinity);
+  close_round();
+}
+
+}  // namespace cagvt::core

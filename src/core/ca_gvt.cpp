@@ -1,0 +1,28 @@
+#include "core/ca_gvt.hpp"
+
+namespace cagvt::core {
+
+metasim::Process CaGvt::agent_tick(WorkerCtx* self) {
+  // The dedicated MPI thread is a party of the system-wide barriers; join
+  // each of the round's three as the round reaches it. (When the agent is
+  // an inline worker, MatternGvt::worker_tick already joins with the
+  // barrier_agent variant, so no stage machine is needed.)
+  if (node_.cfg().has_dedicated_mpi() && sync_round_active()) {
+    if (agent_stage_ == 0 && phase() != Phase::kIdle) {
+      co_await node_.collectives().barrier_agent();  // before white->red
+      agent_stage_ = 1;
+    }
+    if (agent_stage_ == 1 && phase() == Phase::kCollect) {
+      co_await node_.collectives().barrier_agent();  // before contributions
+      agent_stage_ = 2;
+    }
+    if (agent_stage_ == 2 && phase() == Phase::kBroadcast) {
+      co_await node_.collectives().barrier_agent();  // after fossil collection
+      agent_stage_ = 3;
+    }
+  }
+  if (phase() == Phase::kIdle) agent_stage_ = 0;
+  co_await MatternGvt::agent_tick(self);
+}
+
+}  // namespace cagvt::core

@@ -1,0 +1,111 @@
+// Top-level simulation configuration: cluster shape, GVT algorithm, MPI
+// thread placement, and engine knobs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "net/cluster_spec.hpp"
+#include "pdes/event.hpp"
+
+namespace cagvt::core {
+
+/// Which GVT algorithm drives fossil collection (paper Sections 3 and 5).
+enum class GvtKind {
+  kBarrier,           // synchronous, Algorithm 1
+  kMattern,           // asynchronous, Algorithm 2
+  kControlledAsync,   // CA-GVT, Algorithm 3 (the paper's contribution)
+};
+
+/// Where MPI work runs (paper Section 4, first contribution).
+enum class MpiPlacement {
+  kDedicated,   // one thread per node does ONLY MPI (the paper's proposal)
+  kCombined,    // the MPI thread also processes events (baseline from [31])
+  kEverywhere,  // every worker makes its own MPI calls through a node lock
+                // (the threaded-MPI contention ablation, cf. [2])
+};
+
+struct SimulationConfig {
+  net::ClusterSpec cluster;  // hardware cost model
+
+  int nodes = 8;
+  /// Hardware threads loaded per node (paper: 60). With kDedicated one of
+  /// them is the MPI thread and the rest are workers; with kCombined and
+  /// kEverywhere all of them are workers (and thread 0 carries MPI duty).
+  int threads_per_node = 60;
+  int lps_per_worker = 128;
+
+  pdes::VirtualTime end_vt = 100.0;
+  /// Worker-loop iterations between GVT rounds (paper: 25-50).
+  int gvt_interval = 25;
+  GvtKind gvt = GvtKind::kMattern;
+  MpiPlacement mpi = MpiPlacement::kDedicated;
+  /// CA-GVT: switch to synchronous rounds below this efficiency.
+  double ca_efficiency_threshold = 0.80;
+  /// CA-GVT's second trigger (paper Section 8): synchronize when the peak
+  /// MPI queue occupancy since the last round exceeds this many messages.
+  int ca_queue_threshold = 16;
+
+  std::uint64_t seed = 1;
+  /// Max events a worker processes per loop iteration.
+  int batch = 4;
+  /// Combined placement: the MPI-duty worker services the network only
+  /// every this many loop iterations (event processing starves MPI
+  /// progress — the effect that motivates the dedicated thread).
+  int combined_mpi_poll_period = 4;
+
+  int workers_per_node() const {
+    return mpi == MpiPlacement::kDedicated ? threads_per_node - 1 : threads_per_node;
+  }
+  /// Is there a dedicated MPI-thread coroutine on each node?
+  bool has_dedicated_mpi() const { return mpi == MpiPlacement::kDedicated; }
+
+  void validate() const {
+    if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+    if (threads_per_node < 1) throw std::invalid_argument("threads_per_node must be >= 1");
+    if (workers_per_node() < 1)
+      throw std::invalid_argument("dedicated MPI placement needs >= 2 threads per node");
+    if (lps_per_worker < 1) throw std::invalid_argument("lps_per_worker must be >= 1");
+    if (gvt_interval < 1) throw std::invalid_argument("gvt_interval must be >= 1");
+    if (batch < 1) throw std::invalid_argument("batch must be >= 1");
+    if (!(end_vt > 0)) throw std::invalid_argument("end_vt must be > 0");
+    if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
+      throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
+  }
+};
+
+inline std::string_view to_string(GvtKind kind) {
+  switch (kind) {
+    case GvtKind::kBarrier: return "barrier";
+    case GvtKind::kMattern: return "mattern";
+    case GvtKind::kControlledAsync: return "ca-gvt";
+  }
+  return "?";
+}
+
+inline std::string_view to_string(MpiPlacement placement) {
+  switch (placement) {
+    case MpiPlacement::kDedicated: return "dedicated";
+    case MpiPlacement::kCombined: return "combined";
+    case MpiPlacement::kEverywhere: return "everywhere";
+  }
+  return "?";
+}
+
+inline GvtKind gvt_kind_from(std::string_view name) {
+  if (name == "barrier") return GvtKind::kBarrier;
+  if (name == "mattern") return GvtKind::kMattern;
+  if (name == "ca-gvt" || name == "ca" || name == "cagvt") return GvtKind::kControlledAsync;
+  throw std::invalid_argument("unknown GVT algorithm: " + std::string(name));
+}
+
+inline MpiPlacement mpi_placement_from(std::string_view name) {
+  if (name == "dedicated") return MpiPlacement::kDedicated;
+  if (name == "combined") return MpiPlacement::kCombined;
+  if (name == "everywhere") return MpiPlacement::kEverywhere;
+  throw std::invalid_argument("unknown MPI placement: " + std::string(name));
+}
+
+}  // namespace cagvt::core

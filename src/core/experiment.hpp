@@ -1,0 +1,66 @@
+// Experiment harness: canonical paper workloads, scaled cluster
+// configurations, and report formatting shared by the examples and the
+// bench binaries.
+//
+// The paper's full scale (8 nodes x 60 threads x 128 LPs/thread) runs in
+// minutes on this simulator; benches default to a reduced,
+// shape-preserving scale and honour CAGVT_BENCH_SCALE:
+//   CAGVT_BENCH_SCALE=1   quick (default: 6+1 threads/node, 16 LPs/worker)
+//   CAGVT_BENCH_SCALE=2   medium (12+1 threads, 32 LPs)
+//   CAGVT_BENCH_SCALE=4   large (24+1 threads, 64 LPs)
+//   CAGVT_BENCH_SCALE=10  paper scale (59+1 threads, 128 LPs)
+#pragma once
+
+#include <string>
+
+#include "core/simulation.hpp"
+#include "models/mixed_phold.hpp"
+#include "models/phold.hpp"
+#include "util/config.hpp"
+
+namespace cagvt::core {
+
+/// The paper's two canonical PHOLD profiles (Section 4): computation-
+/// dominated (10% regional, 1% remote, EPG 10K) and communication-
+/// dominated (90% regional, 10% remote, EPG 5K).
+struct Workload {
+  double regional_pct;
+  double remote_pct;
+  double epg_units;
+
+  static Workload computation() { return {0.10, 0.01, 10000}; }
+  static Workload communication() { return {0.90, 0.10, 5000}; }
+
+  models::PholdParams phold(std::uint64_t model_seed = 0x9E1D) const {
+    models::PholdParams p;
+    p.regional_pct = regional_pct;
+    p.remote_pct = remote_pct;
+    p.epg_units = epg_units;
+    p.seed = model_seed;
+    return p;
+  }
+};
+
+/// Scaled base configuration for experiments. `scale` multiplies the
+/// per-node thread and LP counts (1 = quick default).
+SimulationConfig scaled_config(int nodes, double scale);
+
+/// Read CAGVT_BENCH_SCALE (default 1.0).
+double bench_scale_from_env();
+
+/// Run PHOLD under `workload` on `cfg`'s cluster.
+SimulationResult run_phold(const SimulationConfig& cfg, const Workload& workload);
+
+/// Run the paper's X-Y mixed model (computation/communication phases).
+SimulationResult run_mixed(const SimulationConfig& cfg, double x_pct, double y_pct);
+
+/// One-line human-readable summary of a result.
+std::string describe(const SimulationResult& result);
+
+/// Apply hardware-cost overrides from generic options (all in ns unless
+/// noted): --mpi-send, --mpi-recv, --net-latency, --rollback-cost,
+/// --event-overhead, --epg-ns (ns per EPG unit, double), --barrier-base,
+/// --collective-cpu. Used by the CLI and the calibration scripts.
+void apply_cluster_overrides(net::ClusterSpec& spec, const Options& options);
+
+}  // namespace cagvt::core

@@ -1,0 +1,18 @@
+#include "core/barrier_gvt.hpp"
+#include "core/ca_gvt.hpp"
+#include "core/gvt.hpp"
+#include "core/mattern_gvt.hpp"
+
+namespace cagvt::core {
+
+std::unique_ptr<GvtAlgorithm> make_gvt(GvtKind kind, NodeRuntime& node) {
+  switch (kind) {
+    case GvtKind::kBarrier: return std::make_unique<BarrierGvt>(node);
+    case GvtKind::kMattern: return std::make_unique<MatternGvt>(node);
+    case GvtKind::kControlledAsync: return std::make_unique<CaGvt>(node);
+  }
+  CAGVT_CHECK_MSG(false, "unknown GVT kind");
+  return nullptr;
+}
+
+}  // namespace cagvt::core

@@ -1,0 +1,230 @@
+#include "core/mattern_gvt.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace cagvt::core {
+
+using metasim::delay;
+using metasim::Process;
+using metasim::SimTime;
+
+void MatternGvt::begin_round() {
+  CAGVT_CHECK(phase_ == Phase::kIdle);
+  phase_ = Phase::kRed;
+  ++round_;
+  round_started_ = node_.engine().now();
+  red_count_ = 0;
+  counting_done_ = false;
+  node_min_lvt_ = pdes::kVtInfinity;
+  node_min_red_ = pdes::kVtInfinity;
+  node_committed_ = 0;
+  node_processed_ = 0;
+  contributions_ = 0;
+  collect_forwarded_ = false;
+  adopted_count_ = 0;
+  sync_round_active_ = sync_flag_;
+}
+
+void MatternGvt::finish_round() {
+  phase_ = Phase::kIdle;
+  sync_flag_ = pending_sync_;
+  ++stats_.rounds;
+  if (sync_round_active_) ++stats_.sync_rounds;
+  stats_.round_time_total += node_.engine().now() - round_started_;
+}
+
+void MatternGvt::fold_node_into(MatternToken& token) {
+  token.min_lvt = std::min(token.min_lvt, node_min_lvt_);
+  token.min_red = std::min(token.min_red, node_min_red_);
+  token.committed += node_committed_;
+  token.processed += node_processed_;
+  token.queue_peak = std::max(token.queue_peak, node_.take_mpi_queue_peak());
+}
+
+void MatternGvt::apply_broadcast(const MatternToken& token) {
+  CAGVT_CHECK_MSG(token.round == round_, "GVT round desynchronized across nodes");
+  CAGVT_CHECK(phase_ == Phase::kCollect);
+  gvt_value_ = token.gvt;
+  pending_sync_ = token.sync_next_round;
+  phase_ = Phase::kBroadcast;
+}
+
+Process MatternGvt::send_token(MatternToken token) {
+  co_await node_.fabric().ring_send(node_.rank(), node_.cfg().cluster.control_msg_bytes,
+                                    NetMsg{token});
+}
+
+Process MatternGvt::complete_collect(MatternToken token) {
+  token.gvt = std::min(token.min_lvt, token.min_red);
+  // Exponentially smoothed efficiency: the raw window reading recovers the
+  // instant one synchronous round cleans the system up, which would flip
+  // the SyncFlag back and forth every round. Smoothing reproduces the
+  // paper's behaviour — synchrony persists for a run of rounds until the
+  // measured efficiency climbs back through the threshold. (No decided
+  // events yet = no evidence; keep the current estimate.)
+  if (token.processed > 0) {
+    const double window =
+        static_cast<double>(token.committed) / static_cast<double>(token.processed);
+    constexpr double kAlpha = 0.3;
+    last_efficiency_ = kAlpha * window + (1.0 - kAlpha) * last_efficiency_;
+  }
+  token.sync_next_round = want_sync(last_efficiency_, token.queue_peak);
+  CAGVT_LOG_DEBUG("gvt round %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu sync_next=%d",
+                  static_cast<unsigned long long>(token.round), token.gvt, last_efficiency_,
+                  static_cast<unsigned long long>(token.queue_peak),
+                  token.sync_next_round ? 1 : 0);
+  token.phase = MatternToken::Phase::kBroadcast;
+  token.visits = 1;
+  apply_broadcast(token);
+  if (node_.fabric().nranks() > 1) co_await send_token(token);
+}
+
+Process MatternGvt::sys_barrier(bool agent_side) {
+  if (agent_side) {
+    co_await node_.collectives().barrier_agent();
+  } else {
+    co_await node_.collectives().barrier();
+  }
+}
+
+Process MatternGvt::worker_tick(WorkerCtx& worker) {
+  const auto& cfg = node_.cfg();
+  const bool agent_inline = worker.mpi_duty && !cfg.has_dedicated_mpi();
+
+  // --- White phase: join the round by turning red (Alg. 2 lines 2-7;
+  // Alg. 3 adds the first conditional barrier). -----------------------------
+  if (worker.gvt.color == pdes::Color::kWhite) {
+    if (phase_ == Phase::kIdle && worker.gvt.iters_since_round >= cfg.gvt_interval)
+      begin_round();
+    if (phase_ == Phase::kRed) {
+      if (sync_round_active_) co_await sys_barrier(agent_inline);
+      co_await cm_mutex_.lock();
+      worker.gvt.color = pdes::Color::kRed;
+      worker.gvt.min_red = pdes::kVtInfinity;
+      worker.gvt.contributed = false;
+      worker.gvt.adopted = false;
+      ++red_count_;
+      cm_mutex_.unlock();
+      worker.gvt.iters_since_round = 0;
+    }
+  }
+
+  // During a synchronous round, held workers still read (and count)
+  // incoming messages — deferred, like Barrier GVT's ReadMessages — so the
+  // white count can drain while processing is quiesced.
+  if (worker_held(worker)) co_await node_.read_messages_deferred(worker);
+
+  // --- Red phase: once every white message is accounted for, contribute
+  // LVT and min_red to the node control structure (Alg. 2 lines 8-12;
+  // Alg. 3 adds the second barrier and the efficiency bookkeeping cost). ----
+  if (phase_ == Phase::kCollect && worker.gvt.color == pdes::Color::kRed &&
+      !worker.gvt.contributed) {
+    if (sync_round_active_) co_await sys_barrier(agent_inline);
+    if (contribute_overhead() > 0) co_await delay(contribute_overhead());
+    co_await cm_mutex_.lock();
+    node_min_lvt_ = std::min(node_min_lvt_, NodeRuntime::worker_min_ts(worker));
+    node_min_red_ = std::min(node_min_red_, worker.gvt.min_red);
+    // Efficiency over the *decided* events of the last round window
+    // (committed vs rolled back since the previous contribution). Decided
+    // events exclude still-uncommitted history, which would bias the
+    // estimate low; windowing lets the estimate track workload phases
+    // (the paper's mixed models) instead of being dominated by startup.
+    const auto& ks = worker.kernel.stats();
+    node_committed_ += ks.committed - worker.gvt.last_committed;
+    node_processed_ += (ks.committed - worker.gvt.last_committed) +
+                       (ks.rolled_back - worker.gvt.last_rolled_back);
+    worker.gvt.last_committed = ks.committed;
+    worker.gvt.last_rolled_back = ks.rolled_back;
+    ++contributions_;
+    worker.gvt.contributed = true;
+    cm_mutex_.unlock();
+  }
+
+  // --- Broadcast: adopt the new GVT, fossil collect, flip white (Alg. 2
+  // lines 16-20; Alg. 3 adds the post-fossil barrier). ----------------------
+  if (phase_ == Phase::kBroadcast && worker.gvt.color == pdes::Color::kRed &&
+      !worker.gvt.adopted) {
+    CAGVT_CHECK(worker.gvt.contributed);
+    worker.gvt.adopted = true;
+    const std::uint64_t committed = node_.adopt_gvt(worker, gvt_value_, round_);
+    co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
+    worker.gvt.color = pdes::Color::kWhite;
+    worker.gvt.iters_since_round = 0;
+    if (sync_round_active_) co_await sys_barrier(agent_inline);
+    if (++adopted_count_ == cfg.workers_per_node()) finish_round();
+    // Deliver messages buffered while processing was quiesced (ordered
+    // before anything the next loop iteration drains).
+    co_await node_.flush_round_buffer(worker);
+  }
+}
+
+Process MatternGvt::agent_tick(WorkerCtx* self) {
+  const int workers = node_.cfg().workers_per_node();
+
+  // Background white-message counting: all agents repeatedly all-reduce
+  // the cumulative white counters; zero means every white message has
+  // arrived (accumulateMsgCountersAcrossNodes).
+  if (phase_ == Phase::kRed && red_count_ == workers && !counting_done_) {
+    while (true) {
+      bool pump = false;
+      co_await node_.mpi_progress(&pump);
+      if (self != nullptr) {
+        // Combined placement: the agent is also a worker — its own inboxes
+        // must keep draining or the count would never reach zero.
+        co_await node_.drain_inboxes(*self, &pump);
+      }
+      const std::int64_t total = co_await node_.fabric().allreduce_sum(white_counter_);
+      CAGVT_CHECK_MSG(total >= 0, "white message accounting went negative");
+      if (total == 0) break;
+    }
+    counting_done_ = true;
+    phase_ = Phase::kCollect;
+  }
+
+  // Originate the Collect circulation at rank 0 once every local thread
+  // has contributed (circulateGlobalCM).
+  if (phase_ == Phase::kCollect && node_.rank() == 0 && !collect_forwarded_ &&
+      contributions_ == workers) {
+    MatternToken token;
+    token.phase = MatternToken::Phase::kCollect;
+    token.round = round_;
+    token.visits = 1;
+    fold_node_into(token);
+    collect_forwarded_ = true;
+    if (node_.fabric().nranks() == 1) {
+      co_await complete_collect(token);
+    } else {
+      co_await send_token(token);
+    }
+  }
+
+  // Advance a held token.
+  if (have_token_) {
+    MatternToken token = held_;
+    if (token.phase == MatternToken::Phase::kCollect) {
+      if (node_.rank() == 0) {
+        // Full circle: compute the GVT and start the broadcast.
+        CAGVT_CHECK(collect_forwarded_ && token.visits == node_.fabric().nranks());
+        have_token_ = false;
+        co_await complete_collect(token);
+      } else if (phase_ == Phase::kCollect && contributions_ == workers &&
+                 !collect_forwarded_) {
+        fold_node_into(token);
+        ++token.visits;
+        collect_forwarded_ = true;
+        have_token_ = false;
+        co_await send_token(token);
+      }
+      // Otherwise the token waits here until local contributions finish.
+    } else {  // kBroadcast
+      have_token_ = false;
+      apply_broadcast(token);
+      ++token.visits;
+      if (token.visits < node_.fabric().nranks()) co_await send_token(token);
+    }
+  }
+}
+
+}  // namespace cagvt::core

@@ -1,0 +1,137 @@
+// Asynchronous Mattern GVT — the paper's Algorithm 2, adapted (as the
+// paper does) to a two-level cluster of many-core nodes:
+//
+//  * Message colouring: every off-thread event message carries its
+//    sender's colour. White messages maintain a per-node cumulative
+//    counter (sent - received); red messages contribute their receive
+//    timestamp to the sender's min_red.
+//  * A GVT round turns every thread red (interval-triggered; threads do
+//    NOT block — they keep simulating throughout).
+//  * White counting across nodes runs as a background MPI reduction on the
+//    MPI agents (the paper's accumulateMsgCountersAcrossNodes): the agents
+//    repeatedly all-reduce the cumulative white counters until the global
+//    sum reaches zero — i.e. every white message has been received.
+//  * Then a control message circulates the node ring (circulateGlobalCM):
+//    a Collect pass gathers min LVT / min red (each node folds in its
+//    values once all its threads contributed to the node-shared control
+//    structure), and a Broadcast pass distributes GVT = min(LVT, min_red).
+//  * Threads adopt the GVT, fossil-collect, flip back to white.
+//
+// CA-GVT (Algorithm 3) derives from this class and injects its conditional
+// barriers and efficiency bookkeeping through the protected hooks.
+#pragma once
+
+#include "core/gvt.hpp"
+#include "core/node_runtime.hpp"
+
+namespace cagvt::core {
+
+class MatternGvt : public GvtAlgorithm {
+ public:
+  explicit MatternGvt(NodeRuntime& node)
+      : GvtAlgorithm(node),
+        cm_mutex_(node.engine(), node.cfg().cluster.lock_acquire,
+                  node.cfg().cluster.lock_handoff) {}
+
+  void on_send(WorkerCtx& worker, pdes::Event& event) override {
+    event.color = worker.gvt.color;
+    if (event.color == pdes::Color::kWhite) {
+      ++white_counter_;
+    } else if (event.recv_ts < worker.gvt.min_red) {
+      worker.gvt.min_red = event.recv_ts;
+    }
+  }
+
+  void on_recv(WorkerCtx& worker, const pdes::Event& event) override {
+    (void)worker;
+    if (event.color == pdes::Color::kWhite) --white_counter_;
+  }
+
+  metasim::Process worker_tick(WorkerCtx& worker) override;
+  metasim::Process agent_tick(WorkerCtx* self) override;
+
+  void on_token(const MatternToken& token) override {
+    CAGVT_CHECK_MSG(!have_token_, "two GVT control messages at one node");
+    held_ = token;
+    have_token_ = true;
+  }
+
+  bool worker_done(const WorkerCtx& worker) const override {
+    return phase_ == Phase::kIdle || worker.gvt.adopted;
+  }
+
+  /// During a CA-GVT synchronous round, red workers pause event processing
+  /// until they have adopted — the round then behaves like a Barrier GVT
+  /// round (full message flush, aligned resume).
+  bool worker_held(const WorkerCtx& worker) const override {
+    return sync_round_active_ && worker.gvt.color == pdes::Color::kRed &&
+           !worker.gvt.adopted;
+  }
+  bool agent_done() const override { return phase_ == Phase::kIdle; }
+
+  // Introspection (tests, experiment reports).
+  double last_gvt() const { return gvt_value_; }
+  double last_global_efficiency() const { return last_efficiency_; }
+  std::uint64_t rounds_started() const { return round_; }
+
+ protected:
+  enum class Phase : std::uint8_t {
+    kIdle,       // between rounds, all threads white
+    kRed,        // threads turning red / background white counting
+    kCollect,    // counting done; threads contribute LVT & min_red
+    kBroadcast,  // GVT known; threads adopt and flip white
+  };
+
+  // --- CA-GVT extension hooks --------------------------------------------
+  /// Should the NEXT round add synchronization, given the smoothed global
+  /// efficiency and the cluster-wide peak MPI queue occupancy measured
+  /// this round?
+  virtual bool want_sync(double efficiency, std::uint64_t queue_peak) const {
+    (void)efficiency;
+    (void)queue_peak;
+    return false;
+  }
+  /// Extra per-thread cost of the round's efficiency bookkeeping.
+  virtual metasim::SimTime contribute_overhead() const { return 0; }
+
+  Phase phase() const { return phase_; }
+  bool sync_round_active() const { return sync_round_active_; }
+
+  Phase phase_ = Phase::kIdle;
+
+ private:
+  void begin_round();
+  void finish_round();
+  void fold_node_into(MatternToken& token);
+  void apply_broadcast(const MatternToken& token);
+  metasim::Process complete_collect(MatternToken token);  // at rank 0
+  metasim::Process send_token(MatternToken token);
+  metasim::Process sys_barrier(bool agent_side);
+
+  // Per-node shared control structure (the paper's node-level CM), guarded
+  // by a contended lock like the real shared-memory structure would be.
+  metasim::Mutex cm_mutex_;
+  std::int64_t white_counter_ = 0;  // cumulative white sent - received
+  int red_count_ = 0;
+  bool counting_done_ = false;
+  double node_min_lvt_ = pdes::kVtInfinity;
+  double node_min_red_ = pdes::kVtInfinity;
+  std::uint64_t node_committed_ = 0;
+  std::uint64_t node_processed_ = 0;
+  int contributions_ = 0;
+  bool collect_forwarded_ = false;
+  int adopted_count_ = 0;
+
+  double gvt_value_ = 0;
+  bool pending_sync_ = false;
+  bool sync_flag_ = false;          // SyncFlag in effect for the next round
+  bool sync_round_active_ = false;  // SyncFlag snapshot for the current one
+  double last_efficiency_ = 1.0;  // EWMA of per-round decided efficiency
+
+  std::uint64_t round_ = 0;
+  metasim::SimTime round_started_ = 0;
+  bool have_token_ = false;
+  MatternToken held_;
+};
+
+}  // namespace cagvt::core

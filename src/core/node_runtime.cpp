@@ -1,0 +1,347 @@
+#include "core/node_runtime.hpp"
+
+namespace cagvt::core {
+
+using metasim::delay;
+using metasim::MutexGuard;
+using metasim::Process;
+using metasim::SimTime;
+
+// ---------------------------------------------------------------------------
+// NodeCollectives
+// ---------------------------------------------------------------------------
+
+Process NodeCollectives::sum(std::int64_t value) {
+  (void)co_await reduce_sum_.arrive(value);
+  co_await exit_barrier_.arrive();  // agent published last_sum_ before this
+}
+
+Process NodeCollectives::sum_agent(std::int64_t value) {
+  const std::int64_t node_partial = co_await reduce_sum_.arrive(value);
+  last_sum_ = co_await fabric_.allreduce_sum(node_partial);
+  co_await exit_barrier_.arrive();
+}
+
+Process NodeCollectives::min(double value) {
+  (void)co_await reduce_min_.arrive(value);
+  co_await exit_barrier_.arrive();
+}
+
+Process NodeCollectives::min_agent(double value) {
+  const double node_partial = co_await reduce_min_.arrive(value);
+  last_min_ = co_await fabric_.allreduce_min(node_partial);
+  co_await exit_barrier_.arrive();
+}
+
+Process NodeCollectives::barrier() {
+  co_await entry_barrier_.arrive();
+  co_await exit_barrier_.arrive();  // released after the agent's MPI barrier
+}
+
+Process NodeCollectives::barrier_agent() {
+  co_await entry_barrier_.arrive();
+  co_await fabric_.barrier();
+  co_await exit_barrier_.arrive();
+}
+
+// ---------------------------------------------------------------------------
+// NodeRuntime
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
+                         const pdes::LpMap& map, const pdes::Model& model, int node_id,
+                         ClusterProfiler& profiler)
+    : engine_(engine),
+      fabric_(fabric),
+      cfg_(cfg),
+      map_(map),
+      model_(model),
+      node_id_(node_id),
+      profiler_(profiler),
+      mpi_outbox_(engine, cfg.cluster),
+      mpi_lock_(engine, cfg.cluster.lock_acquire, cfg.cluster.lock_handoff),
+      collectives_(engine, fabric, node_id,
+                   cfg.workers_per_node() + (cfg.has_dedicated_mpi() ? 1 : 0),
+                   cfg.cluster.pthread_barrier_cost(cfg.threads_per_node)) {
+  const pdes::KernelConfig kcfg{.end_vt = cfg.end_vt, .seed = cfg.seed};
+  for (int w = 0; w < cfg.workers_per_node(); ++w) {
+    const bool duty = !cfg.has_dedicated_mpi() && w == 0;
+    workers_.push_back(std::make_unique<WorkerCtx>(*this, engine, cfg.cluster, model, map,
+                                                   map.global_worker(node_id, w), kcfg, duty));
+  }
+}
+
+void NodeRuntime::start() {
+  gvt_ = make_gvt(cfg_.gvt, *this);
+  for (auto& worker : workers_) {
+    worker->kernel.init();
+    spawn(engine_, worker_main(*worker));
+  }
+  if (cfg_.has_dedicated_mpi()) spawn(engine_, mpi_main());
+}
+
+std::uint64_t NodeRuntime::adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_t round) {
+  profiler_.record_lvt(round, worker.kernel.local_min_ts());
+  if (node_id_ == 0 && worker.index_in_node == 0) profiler_.record_gvt(gvt);
+  const std::uint64_t committed = worker.kernel.fossil_collect(gvt);
+  if (gvt > cfg_.end_vt && !stop_) {
+    stop_ = true;
+    final_gvt_ = gvt;
+  }
+  return committed;
+}
+
+Process NodeRuntime::worker_main(WorkerCtx& worker) {
+  while (!stop_ || !gvt_->worker_done(worker)) {
+    bool did_work = false;
+    if (worker.mpi_duty && cfg_.mpi == MpiPlacement::kCombined &&
+        worker.iterations % static_cast<std::uint64_t>(cfg_.combined_mpi_poll_period) == 0)
+      co_await mpi_progress(&did_work);
+    if (cfg_.mpi == MpiPlacement::kEverywhere) co_await worker_self_mpi(worker, &did_work);
+
+    if (!gvt_->worker_held(worker)) {
+      co_await drain_inboxes(worker, &did_work);
+      for (int b = 0; b < cfg_.batch; ++b) {
+        pdes::Outcome out = worker.kernel.process_next();
+        if (!out.processed) break;
+        did_work = true;
+        co_await handle_outcome(worker, std::move(out));
+      }
+    }
+
+    ++worker.iterations;
+    ++worker.gvt.iters_since_round;
+    if (worker.mpi_duty) co_await gvt_->agent_tick(&worker);
+    co_await gvt_->worker_tick(worker);
+    if (!did_work) co_await delay(cfg_.cluster.idle_poll);
+  }
+}
+
+Process NodeRuntime::mpi_main() {
+  while (!stop_ || !gvt_->agent_done()) {
+    bool did_work = false;
+    co_await mpi_progress(&did_work);
+    co_await gvt_->agent_tick(nullptr);
+    if (!did_work) co_await delay(cfg_.cluster.mpi_poll);
+  }
+}
+
+Process NodeRuntime::mpi_progress(bool* did_work) {
+  const auto& spec = cfg_.cluster;
+  const std::uint64_t occupancy =
+      mpi_outbox_.items.size() + fabric_.inbox(node_id_).size();
+  if (occupancy > mpi_queue_peak_) mpi_queue_peak_ = occupancy;
+  // Drain the node's outbox onto the wire, one message at a time (the
+  // paper's ROSS posts sends individually).
+  while (!mpi_outbox_.items.empty()) {
+    co_await mpi_outbox_.mutex.lock();
+    if (mpi_outbox_.items.empty()) {
+      mpi_outbox_.mutex.unlock();
+      break;
+    }
+    const pdes::Event event = mpi_outbox_.items.front();
+    mpi_outbox_.items.pop_front();
+    co_await delay(spec.shm_copy);
+    mpi_outbox_.mutex.unlock();
+    co_await fabric_.isend(node_id_, map_.node_of(event.dst_lp), spec.event_msg_bytes,
+                           NetMsg{event});
+    *did_work = true;
+  }
+  // Unpack arrivals: events to worker remote-inboxes, tokens to the GVT
+  // algorithm. In the kEverywhere placement other workers consume the same
+  // inbox concurrently (worker_self_mpi), so pops must serialize under the
+  // node MPI lock or per-pair delivery order breaks.
+  const bool shared_inbox = cfg_.mpi == MpiPlacement::kEverywhere;
+  while (true) {
+    if (fabric_.inbox(node_id_).empty()) break;
+    if (shared_inbox) co_await mpi_lock_.lock();
+    auto msg = fabric_.inbox(node_id_).try_recv();
+    if (!msg) {
+      if (shared_inbox) mpi_lock_.unlock();
+      break;
+    }
+    const SimTime base = std::holds_alternative<pdes::Event>(*msg) ? spec.mpi_recv_cpu
+                                                                   : spec.control_recv_cpu;
+    co_await delay(shared_inbox
+                       ? static_cast<SimTime>(static_cast<double>(base) *
+                                              spec.threaded_mpi_penalty)
+                       : base);
+    if (shared_inbox) mpi_lock_.unlock();
+    if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
+      WorkerCtx& dest =
+          *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
+      co_await deliver_to_worker(dest, *event);
+    } else {
+      gvt_->on_token(std::get<MatternToken>(*msg));
+    }
+    *did_work = true;
+  }
+}
+
+Process NodeRuntime::deliver_to_worker(WorkerCtx& dest, pdes::Event event) {
+  co_await dest.remote_in.mutex.lock();
+  co_await delay(cfg_.cluster.shm_copy);
+  dest.remote_in.items.push_back(event);
+  ++dest.remote_in.total_enqueued;
+  dest.remote_in.mutex.unlock();
+}
+
+Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
+  const auto& spec = cfg_.cluster;
+  while (!fabric_.inbox(node_id_).empty()) {
+    co_await mpi_lock_.lock();
+    auto msg = fabric_.inbox(node_id_).try_recv();
+    if (!msg) {
+      mpi_lock_.unlock();
+      break;
+    }
+    const SimTime base = std::holds_alternative<pdes::Event>(*msg) ? spec.mpi_recv_cpu
+                                                                   : spec.control_recv_cpu;
+    co_await delay(static_cast<SimTime>(static_cast<double>(base) *
+                                        spec.threaded_mpi_penalty));
+    mpi_lock_.unlock();
+    if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
+      // Always route through the destination's remote inbox — even for this
+      // worker's own LPs. Depositing directly could overtake another
+      // worker's still-in-flight delivery of an EARLIER message for the
+      // same destination, breaking the per-pair FIFO order annihilation
+      // depends on.
+      WorkerCtx& dest =
+          *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
+      co_await deliver_to_worker(dest, *event);
+    } else {
+      gvt_->on_token(std::get<MatternToken>(*msg));
+    }
+    *did_work = true;
+  }
+}
+
+Process NodeRuntime::drain_inboxes(WorkerCtx& worker, bool* did_work) {
+  const auto& spec = cfg_.cluster;
+  for (SharedQueue* queue : {&worker.regional_in, &worker.remote_in}) {
+    if (queue->items.empty()) continue;  // cheap unsynchronized peek
+    std::vector<pdes::Event> batch;
+    co_await queue->mutex.lock();
+    while (!queue->items.empty()) {
+      batch.push_back(queue->items.front());
+      queue->items.pop_front();
+      co_await delay(spec.shm_copy);
+    }
+    queue->mutex.unlock();
+    for (const pdes::Event& event : batch) {
+      ++worker.gvt.msgs_recv;
+      gvt_->on_recv(worker, event);
+      pdes::Outcome out = worker.kernel.deposit(event);
+      co_await handle_outcome(worker, std::move(out));
+      *did_work = true;
+    }
+  }
+}
+
+Process NodeRuntime::read_messages_deferred(WorkerCtx& worker) {
+  const auto& spec = cfg_.cluster;
+  for (SharedQueue* queue : {&worker.regional_in, &worker.remote_in}) {
+    if (queue->items.empty()) continue;
+    co_await queue->mutex.lock();
+    while (!queue->items.empty()) {
+      const pdes::Event event = queue->items.front();
+      queue->items.pop_front();
+      ++worker.gvt.msgs_recv;
+      gvt_->on_recv(worker, event);
+      worker.round_buffer.push_back(event);
+      co_await delay(spec.shm_copy);
+    }
+    queue->mutex.unlock();
+  }
+}
+
+Process NodeRuntime::flush_round_buffer(WorkerCtx& worker) {
+  if (worker.round_buffer.empty()) co_return;
+  std::vector<pdes::Event> batch;
+  batch.swap(worker.round_buffer);
+  for (const pdes::Event& event : batch) {
+    pdes::Outcome out = worker.kernel.deposit(event);
+    co_await handle_outcome(worker, std::move(out));
+  }
+}
+
+double NodeRuntime::worker_min_ts(WorkerCtx& worker) {
+  double lowest = worker.kernel.local_min_ts();
+  for (const pdes::Event& event : worker.round_buffer)
+    if (event.recv_ts < lowest) lowest = event.recv_ts;
+  return lowest;
+}
+
+Process NodeRuntime::handle_outcome(WorkerCtx& worker, pdes::Outcome outcome) {
+  const auto& spec = cfg_.cluster;
+  SimTime cost = 0;
+  if (outcome.processed) {
+    cost += static_cast<SimTime>(outcome.cost_units * spec.ns_per_epg_unit) +
+            spec.event_overhead;
+    if (!model_.supports_reverse()) cost += spec.state_save_cost;
+  }
+  cost += spec.rollback_per_event * outcome.rolled_back;
+  cost += spec.antimessage_overhead * outcome.antimessages;
+  if (cost > 0) co_await delay(cost);
+  for (pdes::Event& event : outcome.external) co_await send_event(worker, event);
+}
+
+Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
+  const auto& spec = cfg_.cluster;
+  ++worker.gvt.msgs_sent;
+  gvt_->on_send(worker, event);  // stamps the colour, updates counters
+
+  const int dest_node = map_.node_of(event.dst_lp);
+  if (dest_node == node_id_) {
+    ++regional_msgs_;
+    WorkerCtx& dest = *workers_[static_cast<std::size_t>(map_.worker_in_node(event.dst_lp))];
+    CAGVT_ASSERT(&dest != &worker);  // same-thread events never reach here
+    co_await dest.regional_in.mutex.lock();
+    co_await delay(spec.shm_copy);
+    dest.regional_in.items.push_back(event);
+    ++dest.regional_in.total_enqueued;
+    dest.regional_in.mutex.unlock();
+    co_return;
+  }
+
+  ++remote_msgs_;
+  if (cfg_.mpi == MpiPlacement::kEverywhere) {
+    // Threaded MPI: every worker calls into the MPI library itself,
+    // serialized by the node-wide lock and paying the multi-threaded
+    // call penalty — the contention of [2].
+    co_await mpi_lock_.lock();
+    co_await delay(static_cast<SimTime>(static_cast<double>(spec.mpi_send_cpu) *
+                                        (spec.threaded_mpi_penalty - 1.0)));
+    co_await fabric_.isend(node_id_, dest_node, spec.event_msg_bytes, NetMsg{event});
+    mpi_lock_.unlock();
+    co_return;
+  }
+  co_await mpi_outbox_.mutex.lock();
+  co_await delay(spec.shm_copy);
+  mpi_outbox_.items.push_back(event);
+  ++mpi_outbox_.total_enqueued;
+  mpi_outbox_.mutex.unlock();
+}
+
+pdes::KernelStats NodeRuntime::aggregate_kernel_stats() const {
+  pdes::KernelStats total;
+  for (const auto& worker : workers_) total += worker->kernel.stats();
+  return total;
+}
+
+std::uint64_t NodeRuntime::committed_fingerprint() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->kernel.committed_fingerprint();
+  return total;
+}
+
+SimTime NodeRuntime::lock_wait_time() const {
+  SimTime total = mpi_lock_.total_wait_time() + mpi_outbox_.mutex.total_wait_time();
+  for (const auto& worker : workers_) {
+    total += worker->regional_in.mutex.total_wait_time();
+    total += worker->remote_in.mutex.total_wait_time();
+  }
+  return total;
+}
+
+}  // namespace cagvt::core

@@ -1,0 +1,265 @@
+// NodeRuntime: one simulated KNL node.
+//
+// Owns the node's worker threads (coroutines), the MPI thread (dedicated
+// placement) or MPI duty assignment (combined/everywhere), the shared
+// message queues between them, and the node-level collectives used by the
+// GVT algorithms. All timing costs of the message path are charged here:
+//
+//   worker A --[regional_in lock + copy]--> worker B          (same node)
+//   worker A --[mpi_outbox lock]--> MPI thread --isend--> wire
+//        --> MPI thread B --[remote_in lock + copy]--> worker B
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/gvt.hpp"
+#include "core/messages.hpp"
+#include "metasim/channel.hpp"
+#include "metasim/process.hpp"
+#include "metasim/sync.hpp"
+#include "net/vmpi.hpp"
+#include "pdes/kernel.hpp"
+#include "util/stats.hpp"
+
+namespace cagvt::core {
+
+using Fabric = net::Fabric<NetMsg>;
+
+/// Mutex-protected event queue (regional inboxes, remote inboxes, the
+/// per-node MPI outbox).
+struct SharedQueue {
+  SharedQueue(metasim::Engine& engine, const net::ClusterSpec& spec)
+      : mutex(engine, spec.lock_acquire, spec.lock_handoff) {}
+  metasim::Mutex mutex;
+  std::deque<pdes::Event> items;
+  std::uint64_t total_enqueued = 0;
+};
+
+/// Per-worker GVT bookkeeping shared by all algorithms.
+struct GvtThreadState {
+  pdes::Color color = pdes::Color::kWhite;
+  std::int64_t msgs_sent = 0;  // cumulative off-thread event messages
+  std::int64_t msgs_recv = 0;
+  int iters_since_round = 0;
+  double min_red = pdes::kVtInfinity;  // min recv_ts of red messages sent
+  bool contributed = false;            // this round's Collect done
+  bool adopted = false;                // this round's Broadcast done
+  // Snapshot of the decided-event counters at the previous contribution,
+  // for the windowed efficiency estimate CA-GVT adapts on.
+  std::uint64_t last_committed = 0;
+  std::uint64_t last_rolled_back = 0;
+};
+
+struct WorkerCtx {
+  WorkerCtx(NodeRuntime& node_rt, metasim::Engine& engine, const net::ClusterSpec& spec,
+            const pdes::Model& model, const pdes::LpMap& map, int global_worker_idx,
+            pdes::KernelConfig kcfg, bool duty)
+      : node(node_rt),
+        global_worker(global_worker_idx),
+        index_in_node(map.worker_in_node_of(global_worker_idx)),
+        mpi_duty(duty),
+        kernel(model, map, global_worker_idx, kcfg),
+        regional_in(engine, spec),
+        remote_in(engine, spec) {}
+
+  NodeRuntime& node;
+  int global_worker;
+  int index_in_node;
+  /// True for the worker that carries MPI duty in combined/everywhere
+  /// placements (always false with a dedicated MPI thread).
+  bool mpi_duty;
+  pdes::ThreadKernel kernel;
+  SharedQueue regional_in;
+  SharedQueue remote_in;
+  GvtThreadState gvt;
+  std::uint64_t iterations = 0;
+  /// Messages read (counted as received) during a synchronous GVT round
+  /// but not yet handed to the engine — ROSS defers rollback processing
+  /// until the round is over.
+  std::vector<pdes::Event> round_buffer;
+};
+
+/// Two-level reduction/barrier used by the GVT algorithms: a node-level
+/// pthread-style step over all local participants plus an MPI collective
+/// performed by the node's agent. Workers read the global result from
+/// last_sum()/last_min() after their coroutine completes.
+class NodeCollectives {
+ public:
+  NodeCollectives(metasim::Engine& engine, Fabric& fabric, int rank, int parties,
+                  metasim::SimTime node_barrier_cost)
+      : fabric_(fabric),
+        rank_(rank),
+        reduce_sum_(engine, parties, add_i64, 0, node_barrier_cost),
+        reduce_min_(engine, parties, min_f64, pdes::kVtInfinity, node_barrier_cost),
+        entry_barrier_(engine, parties, node_barrier_cost),
+        exit_barrier_(engine, parties, node_barrier_cost) {}
+
+  // Global sum: workers call sum(v), the node's agent calls sum_agent(v).
+  metasim::Process sum(std::int64_t value);
+  metasim::Process sum_agent(std::int64_t value);
+  std::int64_t last_sum() const { return last_sum_; }
+
+  // Global min.
+  metasim::Process min(double value);
+  metasim::Process min_agent(double value);
+  double last_min() const { return last_min_; }
+
+  // Global barrier (node barrier + MPI barrier + node barrier).
+  metasim::Process barrier();
+  metasim::Process barrier_agent();
+
+  /// Total simulated thread-time blocked in the node-level steps (the
+  /// paper's "time in the GVT function" component).
+  metasim::SimTime node_block_time() const {
+    return reduce_sum_.total_block_time() + reduce_min_.total_block_time() +
+           entry_barrier_.total_block_time() + exit_barrier_.total_block_time();
+  }
+
+ private:
+  static std::int64_t add_i64(std::int64_t a, std::int64_t b) { return a + b; }
+  static double min_f64(double a, double b) { return a < b ? a : b; }
+
+  Fabric& fabric_;
+  int rank_;
+  metasim::ReduceBarrier<std::int64_t> reduce_sum_;
+  metasim::ReduceBarrier<double> reduce_min_;
+  metasim::Barrier entry_barrier_;
+  metasim::Barrier exit_barrier_;
+  std::int64_t last_sum_ = 0;
+  double last_min_ = 0;
+};
+
+/// Measurement-only cross-node profiler (an "omniscient observer": it
+/// consumes no simulated time). Tracks the paper's LVT-disparity metric
+/// and the per-round GVT trace.
+class ClusterProfiler {
+ public:
+  void record_lvt(std::uint64_t round, double lvt) {
+    if (lvt == pdes::kVtInfinity) return;
+    if (rounds_.size() <= round) rounds_.resize(round + 1);
+    rounds_[round].add(lvt);
+  }
+
+  void record_gvt(double gvt) { gvt_trace_.push_back(gvt); }
+
+  /// Paper metric: per-round population stddev of LVTs, averaged over
+  /// rounds that saw at least two contributions.
+  double avg_lvt_disparity() const {
+    double total = 0;
+    std::uint64_t n = 0;
+    for (const auto& stat : rounds_) {
+      if (stat.count() < 2) continue;
+      total += stat.stddev_population();
+      ++n;
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+  }
+
+  const std::vector<double>& gvt_trace() const { return gvt_trace_; }
+
+ private:
+  std::vector<RunningStat> rounds_;
+  std::vector<double> gvt_trace_;
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
+              const pdes::LpMap& map, const pdes::Model& model, int node_id,
+              ClusterProfiler& profiler);
+
+  /// Initialize kernels and spawn this node's thread coroutines.
+  void start();
+
+  // --- accessors for the GVT algorithms ---------------------------------
+  metasim::Engine& engine() { return engine_; }
+  Fabric& fabric() { return fabric_; }
+  int rank() const { return node_id_; }
+  const SimulationConfig& cfg() const { return cfg_; }
+  const pdes::LpMap& map() const { return map_; }
+  NodeCollectives& collectives() { return collectives_; }
+  std::vector<std::unique_ptr<WorkerCtx>>& workers() { return workers_; }
+  ClusterProfiler& profiler() { return profiler_; }
+  GvtAlgorithm& gvt() { return *gvt_; }
+
+  /// A worker adopts a freshly computed GVT: fossil-collect, record the
+  /// profiler samples, stop the node once the horizon is passed. Returns
+  /// the newly committed event count (the caller charges fossil cost).
+  std::uint64_t adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_t round);
+
+  bool stopped() const { return stop_; }
+  double final_gvt() const { return final_gvt_; }
+
+  /// MPI progress: outbox -> wire, wire -> worker remote inboxes, GVT
+  /// tokens -> algorithm. Runs on the dedicated MPI thread or inline on
+  /// the MPI-duty worker.
+  metasim::Process mpi_progress(bool* did_work);
+
+  /// Drain a worker's regional + remote inboxes into its kernel (the
+  /// paper's ReadMessages), charging receive costs and routing cascades.
+  metasim::Process drain_inboxes(WorkerCtx& worker, bool* did_work);
+
+  /// Synchronous-GVT variant of ReadMessages: messages are read and
+  /// counted as received but buffered — no rollback processing happens
+  /// inside the round (matching ROSS). flush_round_buffer() deposits them
+  /// once the round is over.
+  metasim::Process read_messages_deferred(WorkerCtx& worker);
+  metasim::Process flush_round_buffer(WorkerCtx& worker);
+
+  /// Worker's GVT contribution: min over its pending events AND any
+  /// buffered-but-undeposited messages.
+  static double worker_min_ts(WorkerCtx& worker);
+
+  /// Charge the costs of an engine outcome and route its external events.
+  metasim::Process handle_outcome(WorkerCtx& worker, pdes::Outcome outcome);
+
+  // --- aggregate results --------------------------------------------------
+  /// Highest MPI queue occupancy (outbox + fabric inbox) seen since the
+  /// last call; consumes the peak. CA-GVT's queue-occupancy trigger.
+  std::uint64_t take_mpi_queue_peak() {
+    const std::uint64_t peak = mpi_queue_peak_;
+    mpi_queue_peak_ = 0;
+    return peak;
+  }
+
+  pdes::KernelStats aggregate_kernel_stats() const;
+  std::uint64_t committed_fingerprint() const;
+  std::uint64_t regional_msgs() const { return regional_msgs_; }
+  std::uint64_t remote_msgs() const { return remote_msgs_; }
+  metasim::SimTime lock_wait_time() const;
+  metasim::SimTime gvt_block_time() const { return collectives_.node_block_time(); }
+
+ private:
+  metasim::Process worker_main(WorkerCtx& worker);
+  metasim::Process mpi_main();
+  metasim::Process send_event(WorkerCtx& worker, pdes::Event event);
+  /// kEverywhere placement: this worker performs its own MPI calls under
+  /// the node-wide MPI lock (threaded-MPI contention model).
+  metasim::Process worker_self_mpi(WorkerCtx& worker, bool* did_work);
+  metasim::Process deliver_to_worker(WorkerCtx& dest, pdes::Event event);
+
+  metasim::Engine& engine_;
+  Fabric& fabric_;
+  const SimulationConfig& cfg_;
+  const pdes::LpMap& map_;
+  const pdes::Model& model_;
+  int node_id_;
+  ClusterProfiler& profiler_;
+
+  std::vector<std::unique_ptr<WorkerCtx>> workers_;
+  SharedQueue mpi_outbox_;
+  metasim::Mutex mpi_lock_;  // kEverywhere: serializes workers' MPI calls
+  NodeCollectives collectives_;
+  std::unique_ptr<GvtAlgorithm> gvt_;
+
+  bool stop_ = false;
+  double final_gvt_ = 0;
+  std::uint64_t mpi_queue_peak_ = 0;
+  std::uint64_t regional_msgs_ = 0;
+  std::uint64_t remote_msgs_ = 0;
+};
+
+}  // namespace cagvt::core

@@ -1,0 +1,71 @@
+#include "core/simulation.hpp"
+
+#include "core/mattern_gvt.hpp"
+#include "core/node_runtime.hpp"
+#include "util/log.hpp"
+
+namespace cagvt::core {
+
+Simulation::Simulation(SimulationConfig cfg, const pdes::Model& model)
+    : cfg_(std::move(cfg)), model_(model) {
+  cfg_.validate();
+}
+
+SimulationResult Simulation::run(double max_wall_seconds) {
+  const pdes::LpMap map = make_map(cfg_);
+
+  metasim::Engine engine;
+  Fabric fabric(engine, cfg_.cluster, cfg_.nodes);
+  ClusterProfiler profiler;
+
+  std::vector<std::unique_ptr<NodeRuntime>> nodes;
+  nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, model_, n,
+                                                  profiler));
+  }
+  for (auto& node : nodes) node->start();
+
+  engine.run(metasim::seconds(max_wall_seconds));
+
+  SimulationResult result;
+  result.completed = true;
+  for (auto& node : nodes) {
+    if (!node->stopped()) {
+      result.completed = false;
+      CAGVT_LOG_WARN("node %d did not reach end_vt before the wall-clock cap", node->rank());
+    }
+  }
+
+  for (auto& node : nodes) {
+    for (auto& worker : node->workers()) worker->kernel.final_commit();
+    result.events += node->aggregate_kernel_stats();
+    result.committed_fingerprint += node->committed_fingerprint();
+    result.regional_msgs += node->regional_msgs();
+    result.remote_msgs += node->remote_msgs();
+    result.gvt_block_seconds += metasim::to_seconds(node->gvt_block_time());
+    result.lock_wait_seconds += metasim::to_seconds(node->lock_wait_time());
+  }
+  result.gvt_block_seconds += metasim::to_seconds(fabric.collective_block_time());
+
+  result.wall_seconds = metasim::to_seconds(engine.now());
+  result.committed_rate = result.wall_seconds > 0
+                              ? static_cast<double>(result.events.committed) /
+                                    result.wall_seconds
+                              : 0;
+  result.efficiency = result.events.efficiency();
+  result.final_gvt = nodes.front()->final_gvt();
+
+  const auto& gvt0 = nodes.front()->gvt();
+  result.gvt_rounds = gvt0.stats().rounds;
+  result.sync_rounds = gvt0.stats().sync_rounds;
+  result.gvt_round_seconds = metasim::to_seconds(gvt0.stats().round_time_total);
+  result.avg_lvt_disparity = profiler.avg_lvt_disparity();
+  if (const auto* mattern = dynamic_cast<const MatternGvt*>(&gvt0))
+    result.last_global_efficiency = mattern->last_global_efficiency();
+  result.gvt_trace = profiler.gvt_trace();
+  result.net_frames = fabric.network().frames_sent();
+  return result;
+}
+
+}  // namespace cagvt::core

@@ -1,0 +1,81 @@
+// Simulation facade: the library's main entry point.
+//
+//   SimulationConfig cfg;               // cluster shape, GVT algo, knobs
+//   cfg.nodes = 8; cfg.gvt = GvtKind::kControlledAsync;
+//   pdes::LpMap map = Simulation::make_map(cfg);
+//   models::PholdModel model(map, params);
+//   Simulation sim(cfg, model);
+//   SimulationResult result = sim.run();
+//
+// run() builds the virtual cluster (engine, fabric, one NodeRuntime per
+// node), executes it to completion, and aggregates the paper's metrics.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "pdes/mapping.hpp"
+#include "pdes/model.hpp"
+#include "pdes/stats.hpp"
+
+namespace cagvt::core {
+
+struct SimulationResult {
+  pdes::KernelStats events;  // aggregated over every worker thread
+
+  /// Simulated wall-clock duration of the run.
+  double wall_seconds = 0;
+  /// The paper's headline metric: committed events per simulated second.
+  double committed_rate = 0;
+  /// committed / processed (the paper's efficiency).
+  double efficiency = 0;
+  double final_gvt = 0;
+
+  std::uint64_t gvt_rounds = 0;
+  std::uint64_t sync_rounds = 0;  // CA-GVT rounds run synchronously
+  /// Wall time spanned by GVT rounds at node 0 (the paper's "time elapsed
+  /// on the GVT function").
+  double gvt_round_seconds = 0;
+  /// Total simulated thread-time blocked in GVT synchronization.
+  double gvt_block_seconds = 0;
+  /// Total simulated thread-time blocked on shared-memory queue locks.
+  double lock_wait_seconds = 0;
+  /// Average per-round population stddev of thread LVTs (paper's
+  /// "virtual time disparity").
+  double avg_lvt_disparity = 0;
+  double last_global_efficiency = 0;
+
+  std::uint64_t regional_msgs = 0;
+  std::uint64_t remote_msgs = 0;
+  std::uint64_t net_frames = 0;
+
+  /// Order-independent fingerprint of the committed event set; equal
+  /// across any two correct runs of the same workload (see seqref).
+  std::uint64_t committed_fingerprint = 0;
+  /// GVT values in round order (node 0's trace).
+  std::vector<double> gvt_trace;
+
+  /// False if the safety wall-clock cap expired before GVT passed end_vt.
+  bool completed = false;
+};
+
+class Simulation {
+ public:
+  /// LP placement implied by a configuration; build the model against it.
+  static pdes::LpMap make_map(const SimulationConfig& cfg) {
+    return pdes::LpMap(cfg.nodes, cfg.workers_per_node(), cfg.lps_per_worker);
+  }
+
+  /// `model` must outlive the Simulation and be built on make_map(cfg).
+  Simulation(SimulationConfig cfg, const pdes::Model& model);
+
+  /// Execute to completion (GVT past end_vt) and aggregate results.
+  /// `max_wall_seconds` is a safety cap for misconfigured runs.
+  SimulationResult run(double max_wall_seconds = 3600.0);
+
+ private:
+  SimulationConfig cfg_;
+  const pdes::Model& model_;
+};
+
+}  // namespace cagvt::core

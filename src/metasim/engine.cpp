@@ -1,0 +1,45 @@
+#include "metasim/engine.hpp"
+
+namespace cagvt::metasim {
+
+Engine::~Engine() {
+  // Destroy every adopted coroutine frame that has not already completed.
+  // Frames use final_suspend = suspend_always, so handles stay valid until
+  // explicitly destroyed and double-destroy cannot happen here.
+  for (auto handle : frames_) {
+    if (handle) handle.destroy();
+  }
+}
+
+void Engine::call_at(SimTime when, std::function<void()> fn) {
+  CAGVT_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
+  queue_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+void Engine::resume_at(SimTime when, std::coroutine_handle<> handle) {
+  call_at(when, [handle] { handle.resume(); });
+}
+
+SimTime Engine::run(SimTime until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Entry& top = queue_.top();
+    if (top.when > until) break;
+    // Copy out before pop: the continuation may push new entries and
+    // invalidate the reference.
+    Entry entry{top.when, top.seq, std::move(const_cast<Entry&>(top).fn)};
+    queue_.pop();
+    CAGVT_ASSERT(entry.when >= now_);
+    now_ = entry.when;
+    ++dispatched_;
+    entry.fn();
+    if (pending_exception_) {
+      std::exception_ptr e = pending_exception_;
+      pending_exception_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  return now_;
+}
+
+}  // namespace cagvt::metasim

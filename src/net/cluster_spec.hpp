@@ -1,0 +1,118 @@
+// Cost model of the evaluation platform.
+//
+// The paper's testbed is an 8-node cluster of Intel KNL 7230 processors
+// (64 cores at up to 1.3 GHz, 60 simulation threads used per node)
+// connected by 10 GBit Ethernet, running mpich-3.3. This struct captures
+// that hardware as a set of simulated-time costs consumed by the metasim
+// substrate.
+//
+// Defaults are calibrated for the *reduced-scale* virtual cluster the
+// benches run (6 workers + 1 MPI thread per node instead of 59 + 1): two
+// parameters are deliberately scale-matched rather than literal so the
+// paper's operating regime is preserved at the smaller scale —
+//
+//  * mpi_send_cpu / mpi_recv_cpu model the per-message service time of the
+//    node's single MPI thread. Scaled up so that 6 workers load the MPI
+//    thread with the same utilization that 59 workers produce on the real
+//    testbed (the paper's "MPI bottleneck").
+//  * net_latency is scaled down so that the ratio of GVT-round period to
+//    network latency matches the paper's regime (their rounds span
+//    thousands of events per worker; the reduced scale spans ~100).
+//
+// See EXPERIMENTS.md for the calibration narrative. All times are
+// metasim::SimTime nanoseconds.
+#pragma once
+
+#include "metasim/time.hpp"
+
+namespace cagvt::net {
+
+using metasim::SimTime;
+
+struct ClusterSpec {
+  // ---- CPU / event processing ------------------------------------------
+  /// Wall time of one EPG unit (paper: "approximately one FLOP per unit").
+  /// KNL 7230 runs at up to 1.3 GHz; scalar FLOP throughput on these cores
+  /// is roughly one per cycle per thread => ~0.77 ns.
+  double ns_per_epg_unit = 0.77;
+  /// Fixed engine cost per processed event: pending-set ops, bookkeeping.
+  SimTime event_overhead = 900;
+  /// Additional per-event cost of saving a state checkpoint; models using
+  /// reverse computation (Model::supports_reverse) skip it.
+  SimTime state_save_cost = 150;
+  /// Cost to undo one processed event during a rollback (state restore,
+  /// pending-set reinsertion, history trimming).
+  SimTime rollback_per_event = 1500;
+  /// Cost to create and enqueue one anti-message.
+  SimTime antimessage_overhead = 250;
+  /// Cost of one idle worker-loop pass that found no work.
+  SimTime idle_poll = 120;
+  /// Cost of committing/freeing one history record at fossil collection.
+  SimTime fossil_per_event = 25;
+  /// Extra per-worker per-round bookkeeping CA-GVT pays to maintain the
+  /// efficiency estimate (the paper reports GVT rounds ~8% costlier than
+  /// plain Mattern).
+  SimTime ca_round_overhead = 2600;
+
+  // ---- Shared memory (regional messages) --------------------------------
+  /// Uncontended lock acquire (CAS + fence) on an inter-thread queue.
+  SimTime lock_acquire = 60;
+  /// Contended lock handoff (cache-line transfer between tiles).
+  SimTime lock_handoff = 140;
+  /// Copying one event into / out of a shared-memory queue (cache-line
+  /// transfers across KNL's mesh are slow under sharing).
+  SimTime shm_copy = 1200;
+
+  // ---- pthread barrier ---------------------------------------------------
+  /// Release cost of a node-local barrier over `parties` threads
+  /// (tree fan-in/fan-out; ~per-thread wakeup cost on KNL's mesh).
+  SimTime pthread_barrier_base = 800;
+  SimTime pthread_barrier_per_thread = 55;
+  SimTime pthread_barrier_cost(int parties) const {
+    return pthread_barrier_base + pthread_barrier_per_thread * parties;
+  }
+
+  // ---- MPI / network (10 GbE, mpich over TCP) ---------------------------
+  /// CPU time on the MPI thread to post one message send (scale-matched;
+  /// see the header comment).
+  SimTime mpi_send_cpu = 4200;
+  /// CPU time on the MPI thread to receive/unpack one message.
+  SimTime mpi_recv_cpu = 3800;
+  /// One idle progress-poll of the MPI engine.
+  SimTime mpi_poll = 350;
+  /// GVT control messages (Mattern tokens) are tiny, eager, high-priority
+  /// sends — they bypass the event data path's per-message service cost.
+  SimTime control_send_cpu = 1200;
+  SimTime control_recv_cpu = 1000;
+  /// Cost multiplier for MPI calls made concurrently from many threads
+  /// (MPI_THREAD_MULTIPLE): internal library locking makes each call far
+  /// costlier than from a single thread (Amer et al. [2]). Applied in the
+  /// kEverywhere placement on top of the node-lock serialization.
+  double threaded_mpi_penalty = 3.0;
+  /// One-way small-message network latency (scale-matched; see header).
+  SimTime net_latency = 5000;
+  /// Wire bandwidth in bytes per nanosecond (10 Gbit/s = 1.25 B/ns).
+  double net_bytes_per_ns = 1.25;
+  /// Wire size of one event message (header + PHOLD payload).
+  int event_msg_bytes = 96;
+  /// Wire size of a GVT control message.
+  int control_msg_bytes = 64;
+  /// Per-hop CPU cost inside a collective (allreduce/barrier step).
+  SimTime mpi_collective_cpu = 2000;
+
+  /// Release cost of an MPI barrier / allreduce across `ranks` nodes:
+  /// a dissemination pattern takes ceil(log2(ranks)) rounds of one
+  /// latency + one collective CPU step each.
+  SimTime mpi_collective_cost(int ranks) const {
+    int rounds = 0;
+    for (int span = 1; span < ranks; span *= 2) ++rounds;
+    return (net_latency + mpi_collective_cpu) * rounds + mpi_collective_cpu;
+  }
+
+  /// Wire transit time for `bytes` on one link.
+  SimTime transmit_time(int bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) / net_bytes_per_ns);
+  }
+};
+
+}  // namespace cagvt::net

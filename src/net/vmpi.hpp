@@ -1,0 +1,116 @@
+// Virtual MPI: the cluster's message-passing layer.
+//
+// Substitutes for mpich-3.3 in the paper's testbed. One rank per node (the
+// paper's multithreaded ROSS runs one simulation instance — one MPI rank —
+// per KNL node, with a single thread per node making MPI calls).
+//
+// Semantics modelled:
+//  * isend   — sender-side CPU cost (charged to the calling simulated
+//              thread), then wire transit via the Network; per-pair FIFO.
+//  * inbox   — per-rank receive queue; the receiver charges its own
+//              per-message unpack cost when it drains the queue.
+//  * barrier / allreduce(sum|min) — collective across ALL ranks with a
+//              dissemination-pattern cost; every rank blocks until the last
+//              arrival (this wait is exactly the synchronous-GVT idle time
+//              the paper measures).
+//  * ring    — convenience for Mattern's circulating control message:
+//              send to (rank+1) % nranks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "metasim/channel.hpp"
+#include "metasim/process.hpp"
+#include "metasim/sync.hpp"
+#include "net/network.hpp"
+
+namespace cagvt::net {
+
+template <typename Payload>
+class Fabric {
+ public:
+  Fabric(metasim::Engine& engine, const ClusterSpec& spec, int nranks)
+      : engine_(engine),
+        spec_(spec),
+        nranks_(nranks),
+        network_(engine, spec, nranks),
+        barrier_(engine, nranks, spec.mpi_collective_cost(nranks)),
+        sum_barrier_(engine, nranks, add_i64, 0, spec.mpi_collective_cost(nranks)),
+        min_barrier_(engine, nranks, min_f64, std::numeric_limits<double>::infinity(),
+                     spec.mpi_collective_cost(nranks)) {
+    inboxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      inboxes_.push_back(std::make_unique<metasim::Channel<Payload>>(engine));
+    network_.set_deliver([this](int /*src*/, int dst, Payload payload) {
+      inboxes_[static_cast<std::size_t>(dst)]->send(std::move(payload));
+    });
+  }
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int nranks() const { return nranks_; }
+
+  /// Non-blocking send: charges the sender's per-message CPU cost, then
+  /// puts the message on the wire. co_await from the sending MPI thread.
+  metasim::Process isend(int src, int dst, int bytes, Payload payload) {
+    co_await metasim::delay(spec_.mpi_send_cpu);
+    network_.transmit(src, dst, bytes, std::move(payload));
+  }
+
+  /// Control-plane send (GVT tokens): small eager message at priority
+  /// service cost.
+  metasim::Process isend_control(int src, int dst, int bytes, Payload payload) {
+    co_await metasim::delay(spec_.control_send_cpu);
+    network_.transmit(src, dst, bytes, std::move(payload));
+  }
+
+  /// Ring step used by Mattern's control message.
+  metasim::Process ring_send(int src, int bytes, Payload payload) {
+    return isend_control(src, (src + 1) % nranks_, bytes, std::move(payload));
+  }
+
+  /// Receive queue for a rank. The receiving thread should charge
+  /// spec().mpi_recv_cpu per message it pops.
+  metasim::Channel<Payload>& inbox(int rank) {
+    return *inboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// MPI_Barrier over all ranks. co_await from each rank's MPI thread.
+  metasim::Barrier::Awaiter barrier() { return barrier_.arrive(); }
+
+  /// MPI_Allreduce(SUM) over all ranks — the paper's MpiBarrierSum.
+  auto allreduce_sum(std::int64_t value) { return sum_barrier_.arrive(value); }
+
+  /// MPI_Allreduce(MIN) over all ranks — the paper's MpiBarrierMin.
+  auto allreduce_min(double value) { return min_barrier_.arrive(value); }
+
+  const ClusterSpec& spec() const { return spec_; }
+  const Network<Payload>& network() const { return network_; }
+
+  /// Total simulated thread-time spent blocked in collectives (the
+  /// synchronous-GVT wait the paper reports as "time in the GVT function").
+  metasim::SimTime collective_block_time() const {
+    return barrier_.total_block_time() + sum_barrier_.total_block_time() +
+           min_barrier_.total_block_time();
+  }
+
+ private:
+  static std::int64_t add_i64(std::int64_t a, std::int64_t b) { return a + b; }
+  static double min_f64(double a, double b) { return a < b ? a : b; }
+
+  metasim::Engine& engine_;
+  const ClusterSpec& spec_;
+  int nranks_;
+  Network<Payload> network_;
+  std::vector<std::unique_ptr<metasim::Channel<Payload>>> inboxes_;
+  metasim::Barrier barrier_;
+  metasim::ReduceBarrier<std::int64_t> sum_barrier_;
+  metasim::ReduceBarrier<double> min_barrier_;
+};
+
+}  // namespace cagvt::net

@@ -1,0 +1,55 @@
+// Event message types of the Time Warp engine.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace cagvt::pdes {
+
+/// Logical process identifier (dense, 0-based across the whole cluster).
+using LpId = std::int32_t;
+
+/// Virtual (model) time. Distinct from metasim wall-clock time.
+using VirtualTime = double;
+
+inline constexpr VirtualTime kVtInfinity = std::numeric_limits<VirtualTime>::infinity();
+
+/// Message color for Mattern-style GVT accounting.
+enum class Color : std::uint8_t { kWhite = 0, kRed = 1 };
+
+/// A time-stamped event message. `uid` is replay-stable: an event's id is a
+/// deterministic hash of its creating event's id and output index, so a
+/// rolled-back-and-re-executed handler regenerates bit-identical events.
+/// uids also break virtual-time ties, giving a deterministic total order.
+struct Event {
+  VirtualTime recv_ts = 0;
+  VirtualTime send_ts = 0;
+  std::uint64_t uid = 0;
+  LpId src_lp = -1;
+  LpId dst_lp = -1;
+  std::uint64_t payload = 0;
+  bool anti = false;          // true: anti-message (cancels the positive twin)
+  Color color = Color::kWhite;  // stamped by the GVT layer at send time
+
+  /// The matching anti-message for this (positive) event.
+  Event make_anti() const {
+    Event a = *this;
+    a.anti = true;
+    return a;
+  }
+};
+
+/// Total order on events: (receive timestamp, uid). uid ties cannot occur
+/// between distinct events (64-bit uids; collision odds are negligible at
+/// simulation scale and would be caught by annihilation-mismatch checks).
+struct EventKey {
+  VirtualTime ts = -kVtInfinity;
+  std::uint64_t uid = 0;
+
+  friend auto operator<=>(const EventKey&, const EventKey&) = default;
+};
+
+inline EventKey key_of(const Event& e) { return EventKey{e.recv_ts, e.uid}; }
+
+}  // namespace cagvt::pdes

@@ -1,0 +1,221 @@
+#include "pdes/kernel.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace cagvt::pdes {
+
+ThreadKernel::ThreadKernel(const Model& model, const LpMap& map, int worker, KernelConfig cfg)
+    : model_(model),
+      map_(map),
+      worker_(worker),
+      cfg_(cfg),
+      first_lp_(map.first_lp_of_worker(worker)) {
+  CAGVT_CHECK(worker >= 0 && worker < map.total_workers());
+  lps_.resize(static_cast<std::size_t>(map.lps_per_worker()));
+}
+
+void ThreadKernel::init() {
+  const std::size_t state_size = model_.state_size();
+  for (int k = 0; k < map_.lps_per_worker(); ++k) {
+    const LpId lp_id = map_.lp_of(worker_, k);
+    Lp& lp = lp_ref(lp_id);
+    lp.state.assign(state_size, std::byte{0});
+    InlineVec<Event, 2> initial;
+    EventSink sink(lp_id, 0.0, hash_combine(cfg_.seed, static_cast<std::uint64_t>(lp_id)),
+                   initial);
+    model_.init_lp(lp_id, {lp.state.data(), lp.state.size()}, sink);
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      CAGVT_CHECK_MSG(initial[i].dst_lp == lp_id, "initial events must target their own LP");
+      pending_.push(initial[i]);
+      ++stats_.events_generated;
+    }
+  }
+}
+
+std::uint64_t ThreadKernel::commit_fingerprint(const Event& e) {
+  return hash_combine(hash_combine(e.uid, std::bit_cast<std::uint64_t>(e.recv_ts)),
+                      static_cast<std::uint64_t>(e.dst_lp));
+}
+
+Outcome ThreadKernel::deposit(const Event& event) {
+  CAGVT_CHECK_MSG(owns(event.dst_lp), "message routed to the wrong kernel");
+  Outcome out;
+  apply(event, out);
+  drain_queue(out);
+  return out;
+}
+
+Outcome ThreadKernel::process_next() {
+  Outcome out;
+  const auto ev = pending_.pop_next(cfg_.end_vt);
+  if (!ev) return out;
+
+  Lp& lp = lp_ref(ev->dst_lp);
+  CAGVT_ASSERT(key_of(*ev) > lp.last_processed);
+
+  ProcessedRecord rec;
+  rec.event = *ev;
+  if (!model_.supports_reverse()) {
+    rec.pre_state.assign(lp.state.data(), lp.state.size());
+  }
+  EventSink sink(ev->dst_lp, ev->recv_ts, ev->uid, rec.outputs);
+  model_.handle_event({lp.state.data(), lp.state.size()}, *ev, sink);
+
+  out.processed = true;
+  out.cost_units = model_.cost_units(*ev);
+  ++stats_.processed;
+  stats_.events_generated += rec.outputs.size();
+  lp.last_processed = key_of(*ev);
+  lp.lvt = ev->recv_ts;
+
+  lp.history.push_back(std::move(rec));
+  if (++live_history_ > stats_.max_history) stats_.max_history = live_history_;
+
+  const ProcessedRecord& recorded = lp.history.back();
+  for (std::size_t i = 0; i < recorded.outputs.size(); ++i)
+    route_or_queue(recorded.outputs[i], out);
+
+  drain_queue(out);
+  return out;
+}
+
+void ThreadKernel::drain_queue(Outcome& out) {
+  // apply() may append more work while we iterate; index loop tolerates
+  // reallocation. Entries are copied out because apply() can reallocate.
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Event e = queue_[i];
+    apply(e, out);
+  }
+  queue_.clear();
+}
+
+void ThreadKernel::route_or_queue(const Event& event, Outcome& out) {
+  if (owns(event.dst_lp)) {
+    if (event.anti) ++stats_.local_cancellations;
+    queue_.push_back(event);
+    return;
+  }
+  if (event.anti) {
+    ++stats_.antimessages_emitted;
+    ++out.antimessages;
+  }
+  out.external.push_back(event);
+}
+
+void ThreadKernel::apply(const Event& event, Outcome& out) {
+  if (event.anti) {
+    apply_anti(event, out);
+  } else {
+    apply_positive(event, out);
+  }
+}
+
+void ThreadKernel::apply_positive(const Event& event, Outcome& out) {
+  // GVT safety net: a message below the last fossil-collection horizon
+  // means the GVT algorithm computed a value that was not a true lower
+  // bound on in-transit timestamps. Abort loudly instead of corrupting.
+  CAGVT_CHECK_MSG(event.recv_ts >= last_fossil_gvt_,
+                  "GVT violation: positive message below fossil horizon");
+  if (early_antis_.erase(event.uid) > 0) {
+    ++stats_.annihilated_early;
+    out.annihilated = true;
+    return;
+  }
+  Lp& lp = lp_ref(event.dst_lp);
+  if (key_of(event) < lp.last_processed) {
+    // Straggler: undo optimistic work past its timestamp, then enqueue it.
+    ++stats_.stragglers;
+    ++stats_.primary_rollbacks;
+    ++stats_.rollback_episodes;
+    rollback(lp, key_of(event), /*annihilate_target=*/false, out);
+    out.was_straggler = true;
+  }
+  pending_.push(event);
+}
+
+void ThreadKernel::apply_anti(const Event& event, Outcome& out) {
+  CAGVT_CHECK_MSG(event.recv_ts >= last_fossil_gvt_,
+                  "GVT violation: anti-message below fossil horizon");
+  if (pending_.cancel(event.uid)) {
+    ++stats_.annihilated_pending;
+    out.annihilated = true;
+    return;
+  }
+  Lp& lp = lp_ref(event.dst_lp);
+  if (key_of(event) <= lp.last_processed) {
+    // The positive twin was already executed: roll back to (and including)
+    // it. Transport FIFO guarantees the twin did arrive before this anti.
+    ++stats_.secondary_rollbacks;
+    ++stats_.rollback_episodes;
+    rollback(lp, key_of(event), /*annihilate_target=*/true, out);
+    out.annihilated = true;
+    return;
+  }
+  // Anti overtook its positive (possible only across distinct transport
+  // paths; kept as a defensive path and surfaced in stats).
+  early_antis_.insert(event.uid);
+}
+
+void ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out) {
+  bool target_found = false;
+  while (!lp.history.empty()) {
+    ProcessedRecord& rec = lp.history.back();
+    const EventKey k = key_of(rec.event);
+    if (k < target) break;
+    const bool is_target = (k == target);
+    CAGVT_CHECK_MSG(annihilate_target || !is_target,
+                    "straggler key collides with a processed event");
+
+    // Undo: invert the state mutation (reverse computation when the model
+    // supports it, checkpoint restore otherwise) and cancel everything
+    // this handler execution sent.
+    if (model_.supports_reverse()) {
+      model_.reverse_event({lp.state.data(), lp.state.size()}, rec.event);
+    } else {
+      CAGVT_ASSERT(rec.pre_state.size() == lp.state.size());
+      for (std::size_t i = 0; i < lp.state.size(); ++i) lp.state[i] = rec.pre_state[i];
+    }
+    for (std::size_t i = 0; i < rec.outputs.size(); ++i)
+      route_or_queue(rec.outputs[i].make_anti(), out);
+
+    if (!is_target) {
+      pending_.push(rec.event);  // will be re-executed after the straggler
+    }
+    lp.history.pop_back();
+    --live_history_;
+    ++stats_.rolled_back;
+    ++out.rolled_back;
+    if (is_target) {
+      target_found = true;
+      break;
+    }
+  }
+  CAGVT_CHECK_MSG(!annihilate_target || target_found,
+                  "anti-message target missing from history (transport order violated)");
+  if (lp.history.empty()) {
+    lp.last_processed = EventKey{};
+    lp.lvt = 0;
+  } else {
+    lp.last_processed = key_of(lp.history.back().event);
+    lp.lvt = lp.history.back().event.recv_ts;
+  }
+}
+
+std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
+  CAGVT_CHECK_MSG(gvt >= last_fossil_gvt_, "GVT went backwards");
+  last_fossil_gvt_ = gvt;
+  std::uint64_t newly_committed = 0;
+  for (Lp& lp : lps_) {
+    while (!lp.history.empty() && lp.history.front().event.recv_ts < gvt) {
+      committed_fingerprint_ += commit_fingerprint(lp.history.front().event);
+      lp.history.pop_front();
+      --live_history_;
+      ++newly_committed;
+    }
+  }
+  stats_.committed += newly_committed;
+  return newly_committed;
+}
+
+}  // namespace cagvt::pdes

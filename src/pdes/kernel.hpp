@@ -1,0 +1,153 @@
+// ThreadKernel: the Time Warp engine state of one worker thread.
+//
+// Owns a contiguous block of LPs, their pending event set, processed-event
+// histories (with pre-state checkpoints and generated-event logs), and the
+// rollback machinery. The kernel is *purely logical*: it is synchronous,
+// engine-agnostic code with no timing — the core layer's worker coroutines
+// drive it and charge the simulated-time costs its outcome reports
+// describe. That split keeps all causality logic unit-testable without the
+// metasim substrate.
+//
+// Protocol with the transport layer:
+//  * deposit()      — a message (positive or anti) arrived for one of my
+//                     LPs. May trigger straggler/secondary rollbacks.
+//  * process_next() — execute the lowest-timestamped pending event.
+//  * Both return an Outcome listing (a) events that must be routed off this
+//    thread, and (b) the work performed, so the caller can charge costs.
+//    Events whose destination LP lives on this same kernel are resolved
+//    internally (the paper's zero-transport "local" messages).
+//  * fossil_collect() frees history older than GVT and counts commits.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "pdes/mapping.hpp"
+#include "pdes/model.hpp"
+#include "pdes/pending_set.hpp"
+#include "pdes/stats.hpp"
+
+namespace cagvt::pdes {
+
+struct KernelConfig {
+  VirtualTime end_vt = 100.0;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one deposit() or process_next() call.
+struct Outcome {
+  bool processed = false;       // process_next executed a handler
+  double cost_units = 0;        // EPG units consumed by the handler
+  int rolled_back = 0;          // handler executions undone (all cascades)
+  int antimessages = 0;         // external anti-messages emitted
+  bool was_straggler = false;
+  bool annihilated = false;     // an anti met its positive
+  std::vector<Event> external;  // positives + antis to route off-thread
+};
+
+class ThreadKernel {
+ public:
+  ThreadKernel(const Model& model, const LpMap& map, int worker, KernelConfig cfg);
+
+  /// Create LP states and self-targeted initial events.
+  void init();
+
+  /// A message from the transport arrived for one of my LPs.
+  Outcome deposit(const Event& event);
+
+  /// Execute the lowest pending event with recv_ts <= end_vt, if any.
+  Outcome process_next();
+
+  /// True when nothing below the end-time bound is pending.
+  bool idle() { return !pending_.min_key() || pending_.min_key()->ts > cfg_.end_vt; }
+
+  /// This thread's GVT contribution: the lowest unprocessed timestamp it
+  /// knows about (its pending set minimum). In-transit messages are the
+  /// GVT algorithm's responsibility.
+  VirtualTime local_min_ts() {
+    const auto k = pending_.min_key();
+    return k ? k->ts : kVtInfinity;
+  }
+
+  /// Free history strictly below gvt; returns newly committed event count.
+  std::uint64_t fossil_collect(VirtualTime gvt);
+
+  /// Commit everything left (call after GVT has passed end_vt).
+  std::uint64_t final_commit() { return fossil_collect(kVtInfinity); }
+
+  const KernelStats& stats() const { return stats_; }
+  /// Order-independent fingerprint of all committed events; equal runs
+  /// (any layout, any GVT algorithm, or the sequential reference) must
+  /// produce equal fingerprints.
+  std::uint64_t committed_fingerprint() const { return committed_fingerprint_; }
+
+  int worker() const { return worker_; }
+  int lp_count() const { return map_.lps_per_worker(); }
+
+  // --- test introspection -------------------------------------------------
+  VirtualTime lp_lvt(LpId lp) const { return lp_ref(lp).lvt; }
+  std::size_t lp_history_size(LpId lp) const { return lp_ref(lp).history.size(); }
+  std::span<const std::byte> lp_state(LpId lp) const {
+    const Lp& l = lp_ref(lp);
+    return {l.state.data(), l.state.size()};
+  }
+  std::size_t pending_size() const { return pending_.size(); }
+
+  /// Fingerprint contribution of one committed event (shared with the
+  /// sequential reference simulator).
+  static std::uint64_t commit_fingerprint(const Event& e);
+
+ private:
+  struct ProcessedRecord {
+    Event event;
+    InlineVec<Event, 2> outputs;
+    InlineVec<std::byte, 48> pre_state;
+  };
+
+  struct Lp {
+    VirtualTime lvt = 0;
+    EventKey last_processed{};
+    std::vector<std::byte> state;
+    std::deque<ProcessedRecord> history;
+  };
+
+  bool owns(LpId lp) const { return map_.worker_of(lp) == worker_; }
+  Lp& lp_ref(LpId lp) {
+    CAGVT_ASSERT(owns(lp));
+    return lps_[static_cast<std::size_t>(lp - first_lp_)];
+  }
+  const Lp& lp_ref(LpId lp) const {
+    CAGVT_ASSERT(owns(lp));
+    return lps_[static_cast<std::size_t>(lp - first_lp_)];
+  }
+
+  /// Apply a message destined to one of my LPs; cascades are pushed onto
+  /// `queue_` and externals onto out.external.
+  void apply(const Event& event, Outcome& out);
+  void apply_positive(const Event& event, Outcome& out);
+  void apply_anti(const Event& event, Outcome& out);
+  /// Undo history of `lp` down to `target`. If `annihilate_target` the
+  /// record with key == target is removed without reinsertion (anti-message
+  /// cancellation); otherwise records with key > target are undone.
+  void rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out);
+  void drain_queue(Outcome& out);
+  void route_or_queue(const Event& event, Outcome& out);
+
+  const Model& model_;
+  LpMap map_;
+  int worker_;
+  KernelConfig cfg_;
+  LpId first_lp_;
+  std::vector<Lp> lps_;
+  PendingSet pending_;
+  std::vector<Event> queue_;  // same-thread cascade work list
+  std::unordered_set<std::uint64_t> early_antis_;
+  VirtualTime last_fossil_gvt_ = -kVtInfinity;
+  KernelStats stats_;
+  std::uint64_t committed_fingerprint_ = 0;
+  std::size_t live_history_ = 0;  // total uncommitted records across LPs
+};
+
+}  // namespace cagvt::pdes

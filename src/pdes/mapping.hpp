@@ -1,0 +1,71 @@
+// Static placement of LPs onto the cluster.
+//
+// Mirrors the paper's layout: each node runs W worker threads, each worker
+// owns a contiguous block of `lps_per_worker` LPs (128 per hardware thread
+// at paper scale). Placement is immutable for a run; all routing decisions
+// derive from it.
+#pragma once
+
+#include "pdes/event.hpp"
+#include "util/assert.hpp"
+
+namespace cagvt::pdes {
+
+class LpMap {
+ public:
+  LpMap(int nodes, int workers_per_node, int lps_per_worker)
+      : nodes_(nodes), workers_per_node_(workers_per_node), lps_per_worker_(lps_per_worker) {
+    CAGVT_CHECK(nodes >= 1 && workers_per_node >= 1 && lps_per_worker >= 1);
+  }
+
+  int nodes() const { return nodes_; }
+  int workers_per_node() const { return workers_per_node_; }
+  int lps_per_worker() const { return lps_per_worker_; }
+  int total_workers() const { return nodes_ * workers_per_node_; }
+  LpId total_lps() const { return static_cast<LpId>(total_workers() * lps_per_worker_); }
+
+  /// Global worker index owning `lp` (0 .. total_workers()-1).
+  int worker_of(LpId lp) const {
+    CAGVT_ASSERT(lp >= 0 && lp < total_lps());
+    return static_cast<int>(lp) / lps_per_worker_;
+  }
+
+  int node_of(LpId lp) const { return worker_of(lp) / workers_per_node_; }
+
+  /// Worker index within its node (0 .. workers_per_node()-1).
+  int worker_in_node(LpId lp) const { return worker_of(lp) % workers_per_node_; }
+
+  int node_of_worker(int worker) const { return worker / workers_per_node_; }
+  int worker_in_node_of(int worker) const { return worker % workers_per_node_; }
+  int global_worker(int node, int worker_in_node) const {
+    return node * workers_per_node_ + worker_in_node;
+  }
+
+  LpId first_lp_of_worker(int worker) const {
+    return static_cast<LpId>(worker * lps_per_worker_);
+  }
+
+  /// k-th LP of a worker.
+  LpId lp_of(int worker, int k) const {
+    CAGVT_ASSERT(k >= 0 && k < lps_per_worker_);
+    return first_lp_of_worker(worker) + static_cast<LpId>(k);
+  }
+
+ private:
+  int nodes_;
+  int workers_per_node_;
+  int lps_per_worker_;
+};
+
+/// Message locality classes from the paper's Section 2: local (same
+/// worker thread), regional (same node, different worker — shared memory),
+/// remote (different node — network).
+enum class Locality : std::uint8_t { kLocal, kRegional, kRemote };
+
+inline Locality classify(const LpMap& map, LpId src, LpId dst) {
+  if (map.worker_of(src) == map.worker_of(dst)) return Locality::kLocal;
+  if (map.node_of(src) == map.node_of(dst)) return Locality::kRegional;
+  return Locality::kRemote;
+}
+
+}  // namespace cagvt::pdes

@@ -1,0 +1,70 @@
+// Pending event set with lazy annihilation.
+//
+// A min-heap over EventKey plus a live-uid set. Anti-messages cancel
+// pending positives in O(1) by removing the uid from the live set; the
+// stale heap entry is skipped on a later pop ("tombstoning"), which keeps
+// cancellation off the heap's critical path — the same trick ROSS-family
+// engines use for their cancel queues.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "util/assert.hpp"
+
+namespace cagvt::pdes {
+
+class PendingSet {
+ public:
+  void push(const Event& e) {
+    CAGVT_ASSERT(!e.anti);
+    const bool inserted = live_.insert(e.uid).second;
+    CAGVT_CHECK_MSG(inserted, "duplicate event uid in pending set");
+    heap_.push(e);
+  }
+
+  /// Cancel a pending positive by uid. Returns true iff it was pending.
+  bool cancel(std::uint64_t uid) { return live_.erase(uid) > 0; }
+
+  /// Smallest live key, or nullopt when empty.
+  std::optional<EventKey> min_key() {
+    skim();
+    if (heap_.empty()) return std::nullopt;
+    return key_of(heap_.top());
+  }
+
+  /// Pop the smallest live event whose timestamp is <= bound.
+  std::optional<Event> pop_next(VirtualTime bound) {
+    skim();
+    if (heap_.empty() || heap_.top().recv_ts > bound) return std::nullopt;
+    Event e = heap_.top();
+    heap_.pop();
+    live_.erase(e.uid);
+    return e;
+  }
+
+  bool empty() {
+    skim();
+    return heap_.empty();
+  }
+
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const { return key_of(a) > key_of(b); }
+  };
+
+  /// Drop tombstoned entries off the top of the heap.
+  void skim() {
+    while (!heap_.empty() && !live_.contains(heap_.top().uid)) heap_.pop();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace cagvt::pdes

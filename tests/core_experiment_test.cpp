@@ -1,0 +1,115 @@
+// Experiment harness: canonical workloads, scaled configs, runner helpers.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cagvt::core {
+namespace {
+
+TEST(WorkloadTest, PaperProfiles) {
+  const Workload comp = Workload::computation();
+  EXPECT_DOUBLE_EQ(comp.regional_pct, 0.10);
+  EXPECT_DOUBLE_EQ(comp.remote_pct, 0.01);
+  EXPECT_DOUBLE_EQ(comp.epg_units, 10000);
+  const Workload comm = Workload::communication();
+  EXPECT_DOUBLE_EQ(comm.regional_pct, 0.90);
+  EXPECT_DOUBLE_EQ(comm.remote_pct, 0.10);
+  EXPECT_DOUBLE_EQ(comm.epg_units, 5000);
+}
+
+TEST(WorkloadTest, PholdConversion) {
+  const auto p = Workload::communication().phold(123);
+  EXPECT_DOUBLE_EQ(p.regional_pct, 0.90);
+  EXPECT_DOUBLE_EQ(p.remote_pct, 0.10);
+  EXPECT_EQ(p.seed, 123u);
+}
+
+TEST(ScaledConfigTest, BaseScale) {
+  const SimulationConfig cfg = scaled_config(8, 1.0);
+  EXPECT_EQ(cfg.nodes, 8);
+  EXPECT_EQ(cfg.threads_per_node, 7);  // 6 workers + 1 MPI thread
+  EXPECT_EQ(cfg.lps_per_worker, 32);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ScaledConfigTest, ScaleMultipliesThreads) {
+  const SimulationConfig cfg = scaled_config(4, 2.0);
+  EXPECT_EQ(cfg.threads_per_node, 13);
+  EXPECT_EQ(cfg.lps_per_worker, 64);
+}
+
+TEST(ScaledConfigTest, PaperScale) {
+  const SimulationConfig cfg = scaled_config(8, 10.0);
+  EXPECT_EQ(cfg.threads_per_node, 61);
+  EXPECT_EQ(cfg.lps_per_worker, 128);  // capped at the paper's value
+}
+
+TEST(BenchScaleTest, ReadsEnvironment) {
+  unsetenv("CAGVT_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  setenv("CAGVT_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 2.5);
+  setenv("CAGVT_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  unsetenv("CAGVT_BENCH_SCALE");
+}
+
+TEST(RunnerTest, RunPholdSmoke) {
+  SimulationConfig cfg = scaled_config(2, 0.5);
+  cfg.end_vt = 10.0;
+  const SimulationResult r = run_phold(cfg, Workload::computation());
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.events.committed, 0u);
+  EXPECT_GT(r.committed_rate, 0.0);
+}
+
+TEST(RunnerTest, RunMixedSmoke) {
+  SimulationConfig cfg = scaled_config(2, 0.5);
+  cfg.end_vt = 20.0;
+  const SimulationResult r = run_mixed(cfg, 10, 15);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.events.committed, 0u);
+}
+
+TEST(DescribeTest, ContainsHeadlineNumbers) {
+  SimulationResult r;
+  r.events.processed = 1000;
+  r.events.committed = 900;
+  r.efficiency = 0.9;
+  r.committed_rate = 1.5e6;
+  r.wall_seconds = 0.5;
+  r.gvt_rounds = 12;
+  r.sync_rounds = 3;
+  r.completed = true;
+  const std::string text = describe(r);
+  EXPECT_NE(text.find("eff=90.00%"), std::string::npos);
+  EXPECT_NE(text.find("1.50M"), std::string::npos);
+  EXPECT_NE(text.find("gvt_rounds=12"), std::string::npos);
+  EXPECT_NE(text.find("sync 3"), std::string::npos);
+  EXPECT_EQ(text.find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(DescribeTest, FlagsIncompleteRuns) {
+  SimulationResult r;
+  r.completed = false;
+  EXPECT_NE(describe(r).find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(OverridesTest, ClusterOverridesApply) {
+  const char* argv[] = {"t", "--mpi-send=111", "--net-latency=222", "--epg-ns=0.5",
+                        "--shm-copy=333"};
+  const Options opts = Options::parse(5, argv);
+  net::ClusterSpec spec;
+  apply_cluster_overrides(spec, opts);
+  EXPECT_EQ(spec.mpi_send_cpu, 111);
+  EXPECT_EQ(spec.net_latency, 222);
+  EXPECT_DOUBLE_EQ(spec.ns_per_epg_unit, 0.5);
+  EXPECT_EQ(spec.shm_copy, 333);
+  // Untouched values keep their defaults.
+  EXPECT_EQ(spec.mpi_recv_cpu, net::ClusterSpec{}.mpi_recv_cpu);
+}
+
+}  // namespace
+}  // namespace cagvt::core

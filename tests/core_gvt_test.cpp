@@ -1,0 +1,151 @@
+// GVT-algorithm-specific properties on the full virtual cluster: barrier
+// blocking, Mattern's non-blocking progress, CA-GVT's two synchrony
+// triggers and its degeneration to the pure algorithms at the policy
+// extremes.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "models/phold.hpp"
+#include "pdes/seqref.hpp"
+
+namespace cagvt::core {
+namespace {
+
+SimulationConfig gvt_test_config() {
+  SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 30.0;
+  cfg.gvt_interval = 6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+models::PholdParams busy_phold() {
+  models::PholdParams p;
+  p.remote_pct = 0.15;
+  p.regional_pct = 0.40;
+  p.epg_units = 1500;
+  return p;
+}
+
+SimulationResult run_with(GvtKind gvt, double ca_threshold = 0.8, int ca_queue = 16) {
+  SimulationConfig cfg = gvt_test_config();
+  cfg.gvt = gvt;
+  cfg.ca_efficiency_threshold = ca_threshold;
+  cfg.ca_queue_threshold = ca_queue;
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const models::PholdModel model(map, busy_phold());
+  Simulation sim(cfg, model);
+  return sim.run(120.0);
+}
+
+TEST(GvtAlgorithmTest, BarrierAccumulatesBlockTime) {
+  const SimulationResult r = run_with(GvtKind::kBarrier);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.gvt_rounds, 3u);
+  // Synchronous rounds necessarily block threads.
+  EXPECT_GT(r.gvt_block_seconds, 0.0);
+  EXPECT_EQ(r.sync_rounds, 0u);  // "sync_rounds" is a CA-GVT notion
+}
+
+TEST(GvtAlgorithmTest, MatternNeverSynchronizes) {
+  const SimulationResult r = run_with(GvtKind::kMattern);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.gvt_rounds, 3u);
+  EXPECT_EQ(r.sync_rounds, 0u);
+}
+
+TEST(GvtAlgorithmTest, CaWithImpossibleTriggersBehavesLikeMattern) {
+  // Threshold 0 can never exceed measured efficiency and the queue
+  // threshold is unreachably high: CA must never synchronize, and must
+  // commit the same events as Mattern (both match the oracle).
+  const SimulationResult ca = run_with(GvtKind::kControlledAsync, /*threshold=*/0.0,
+                                       /*queue=*/1 << 30);
+  EXPECT_TRUE(ca.completed);
+  EXPECT_EQ(ca.sync_rounds, 0u);
+
+  const SimulationResult mattern = run_with(GvtKind::kMattern);
+  EXPECT_EQ(ca.events.committed, mattern.events.committed);
+  EXPECT_EQ(ca.committed_fingerprint, mattern.committed_fingerprint);
+}
+
+TEST(GvtAlgorithmTest, CaWithMaximalThresholdAlwaysSynchronizes) {
+  const SimulationResult r = run_with(GvtKind::kControlledAsync, /*threshold=*/1.0);
+  EXPECT_TRUE(r.completed);
+  ASSERT_GT(r.gvt_rounds, 2u);
+  // Every round after the bootstrap round must run synchronously.
+  EXPECT_GE(r.sync_rounds + 2, r.gvt_rounds);
+  EXPECT_GT(r.sync_rounds, 0u);
+}
+
+TEST(GvtAlgorithmTest, CaQueueTriggerFiresWithoutEfficiencyTrigger) {
+  // Efficiency can never dip below threshold 0, so any synchrony must come
+  // from the queue-occupancy trigger.
+  const SimulationResult r = run_with(GvtKind::kControlledAsync, /*threshold=*/0.0,
+                                      /*queue=*/1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.sync_rounds, 0u);
+}
+
+TEST(GvtAlgorithmTest, AllAlgorithmsCommitIdenticalEventSets) {
+  const SimulationConfig cfg = gvt_test_config();
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const models::PholdModel model(map, busy_phold());
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    const SimulationResult r = run_with(kind);
+    EXPECT_EQ(r.events.committed, ref.committed()) << to_string(kind);
+    EXPECT_EQ(r.committed_fingerprint, ref.fingerprint()) << to_string(kind);
+  }
+}
+
+TEST(GvtAlgorithmTest, GvtTraceMonotoneForEveryAlgorithm) {
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    const SimulationResult r = run_with(kind);
+    ASSERT_GE(r.gvt_trace.size(), 2u) << to_string(kind);
+    for (std::size_t i = 1; i < r.gvt_trace.size(); ++i)
+      EXPECT_GE(r.gvt_trace[i], r.gvt_trace[i - 1]) << to_string(kind);
+  }
+}
+
+TEST(GvtAlgorithmTest, FinalGvtPassesEndTime) {
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    const SimulationResult r = run_with(kind);
+    EXPECT_GT(r.final_gvt, gvt_test_config().end_vt) << to_string(kind);
+  }
+}
+
+TEST(GvtAlgorithmTest, SingleNodeClusterWorksForAllAlgorithms) {
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    SimulationConfig cfg = gvt_test_config();
+    cfg.nodes = 1;
+    cfg.gvt = kind;
+    const pdes::LpMap map = Simulation::make_map(cfg);
+    const models::PholdModel model(map, busy_phold());
+    Simulation sim(cfg, model);
+    const SimulationResult r = sim.run(120.0);
+    EXPECT_TRUE(r.completed) << to_string(kind);
+    EXPECT_GT(r.gvt_rounds, 0u) << to_string(kind);
+
+    pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+    ref.run();
+    EXPECT_EQ(r.committed_fingerprint, ref.fingerprint()) << to_string(kind);
+  }
+}
+
+TEST(GvtAlgorithmTest, DisparityIsMeasured) {
+  const SimulationResult r = run_with(GvtKind::kMattern);
+  EXPECT_GT(r.avg_lvt_disparity, 0.0);
+}
+
+}  // namespace
+}  // namespace cagvt::core

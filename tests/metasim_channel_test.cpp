@@ -1,0 +1,107 @@
+// Channel FIFO ordering, blocking receive, producer/consumer interleaving.
+#include "metasim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cagvt::metasim {
+namespace {
+
+TEST(ChannelTest, TryRecvOnEmptyReturnsNullopt) {
+  Engine engine;
+  Channel<int> channel(engine);
+  EXPECT_EQ(channel.try_recv(), std::nullopt);
+  channel.send(42);
+  EXPECT_EQ(channel.try_recv(), 42);
+  EXPECT_EQ(channel.try_recv(), std::nullopt);
+}
+
+TEST(ChannelTest, FifoOrderPreserved) {
+  Engine engine;
+  Channel<int> channel(engine);
+  for (int i = 0; i < 5; ++i) channel.send(i);
+  std::vector<int> received;
+  auto consumer = [&]() -> Process {
+    for (int i = 0; i < 5; ++i) received.push_back(co_await channel.recv());
+  };
+  spawn(engine, consumer());
+  engine.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  Engine engine;
+  Channel<std::string> channel(engine);
+  SimTime received_at = -1;
+  std::string value;
+  auto consumer = [&]() -> Process {
+    value = co_await channel.recv();
+    received_at = engine.now();
+  };
+  spawn(engine, consumer());
+  engine.call_at(77, [&] { channel.send("hello"); });
+  engine.run();
+  EXPECT_EQ(received_at, 77);
+  EXPECT_EQ(value, "hello");
+}
+
+TEST(ChannelTest, MultipleBlockedReceiversServedInOrder) {
+  Engine engine;
+  Channel<int> channel(engine);
+  std::vector<std::pair<int, int>> got;  // (receiver id, value)
+  auto consumer = [&](int id) -> Process {
+    const int v = co_await channel.recv();
+    got.emplace_back(id, v);
+  };
+  spawn(engine, consumer(1));
+  spawn(engine, consumer(2));
+  engine.call_at(10, [&] {
+    channel.send(100);
+    channel.send(200);
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::pair<int, int>>{{1, 100}, {2, 200}}));
+}
+
+TEST(ChannelTest, ProducerConsumerPipelineTiming) {
+  Engine engine;
+  Channel<int> channel(engine);
+  std::vector<SimTime> consume_times;
+  auto producer = [&]() -> Process {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(10);
+      channel.send(i);
+    }
+  };
+  auto consumer = [&]() -> Process {
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await channel.recv();
+      consume_times.push_back(engine.now());
+      co_await delay(25);  // slower than the producer
+    }
+  };
+  spawn(engine, producer());
+  spawn(engine, consumer());
+  engine.run();
+  EXPECT_EQ(consume_times, (std::vector<SimTime>{10, 35, 60}));
+  EXPECT_EQ(channel.total_sent(), 3u);
+}
+
+TEST(ChannelTest, MoveOnlyPayloads) {
+  Engine engine;
+  Channel<std::unique_ptr<int>> channel(engine);
+  channel.send(std::make_unique<int>(7));
+  int observed = 0;
+  auto consumer = [&]() -> Process {
+    auto p = co_await channel.recv();
+    observed = *p;
+  };
+  spawn(engine, consumer());
+  engine.run();
+  EXPECT_EQ(observed, 7);
+}
+
+}  // namespace
+}  // namespace cagvt::metasim

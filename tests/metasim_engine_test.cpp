@@ -1,0 +1,96 @@
+// Engine dispatch order, time monotonicity, stop/run-until semantics.
+#include "metasim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cagvt::metasim {
+namespace {
+
+TEST(EngineTest, DispatchesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.call_at(30, [&] { order.push_back(3); });
+  engine.call_at(10, [&] { order.push_back(1); });
+  engine.call_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.dispatched(), 3u);
+}
+
+TEST(EngineTest, EqualTimesDispatchFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) engine.call_at(5, [&order, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, CallbacksMayScheduleMore) {
+  Engine engine;
+  std::vector<SimTime> times;
+  std::function<void()> reschedule = [&] {
+    times.push_back(engine.now());
+    if (times.size() < 5) engine.call_after(7, reschedule);
+  };
+  engine.call_at(0, reschedule);
+  engine.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_EQ(times[i], static_cast<SimTime>(7 * i));
+}
+
+TEST(EngineTest, RunUntilStopsBeforeLaterEvents) {
+  Engine engine;
+  int ran = 0;
+  engine.call_at(10, [&] { ++ran; });
+  engine.call_at(100, [&] { ++ran; });
+  engine.run(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(engine.empty());
+  engine.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, StopHaltsDispatch) {
+  Engine engine;
+  int ran = 0;
+  engine.call_at(1, [&] {
+    ++ran;
+    engine.stop();
+  });
+  engine.call_at(2, [&] { ++ran; });
+  engine.run();
+  EXPECT_EQ(ran, 1);
+  engine.run();  // resumes from where it stopped
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EngineTest, CallAfterUsesCurrentTime) {
+  Engine engine;
+  SimTime observed = -1;
+  engine.call_at(40, [&] { engine.call_after(2, [&] { observed = engine.now(); }); });
+  engine.run();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(EngineTest, ExceptionFromCallbackPropagates) {
+  Engine engine;
+  engine.call_at(1, [&] {
+    engine.set_pending_exception(std::make_exception_ptr(std::runtime_error("boom")));
+  });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(EngineDeathTest, SchedulingInThePastAborts) {
+  Engine engine;
+  engine.call_at(10, [&] {});
+  engine.run();
+  EXPECT_DEATH(engine.call_at(5, [] {}), "simulated past");
+}
+
+}  // namespace
+}  // namespace cagvt::metasim

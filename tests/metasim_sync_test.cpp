@@ -1,0 +1,219 @@
+// Barrier / ReduceBarrier / Mutex / Trigger timing and ordering semantics.
+#include "metasim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cagvt::metasim {
+namespace {
+
+TEST(BarrierTest, ReleasesAllAtMaxArrivalPlusCost) {
+  Engine engine;
+  Barrier barrier(engine, 3, /*release_cost=*/7);
+  std::vector<SimTime> released;
+  auto party = [&](SimTime arrive_delay) -> Process {
+    co_await delay(arrive_delay);
+    co_await barrier.arrive();
+    released.push_back(engine.now());
+  };
+  spawn(engine, party(10));
+  spawn(engine, party(30));
+  spawn(engine, party(20));
+  engine.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (SimTime t : released) EXPECT_EQ(t, 37);  // max(10,20,30) + 7
+  EXPECT_EQ(barrier.generations(), 1u);
+  // Block time: (37-10) + (37-20) + (37-30) = 27+17+7 = 51.
+  EXPECT_EQ(barrier.total_block_time(), 51);
+}
+
+TEST(BarrierTest, ArrivalIndexIdentifiesLastArriver) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  int late_index = -1, early_index = -1;
+  auto party = [&](SimTime d, int& out) -> Process {
+    co_await delay(d);
+    out = co_await barrier.arrive();
+  };
+  spawn(engine, party(1, early_index));
+  spawn(engine, party(2, late_index));
+  engine.run();
+  EXPECT_EQ(early_index, 0);
+  EXPECT_EQ(late_index, 1);
+}
+
+TEST(BarrierTest, CyclicReuseAcrossGenerations) {
+  Engine engine;
+  Barrier barrier(engine, 2, 1);
+  std::vector<SimTime> times;
+  auto party = [&](SimTime step) -> Process {
+    for (int round = 0; round < 3; ++round) {
+      co_await delay(step);
+      co_await barrier.arrive();
+      times.push_back(engine.now());
+    }
+  };
+  spawn(engine, party(5));
+  spawn(engine, party(10));
+  engine.run();
+  // Rounds complete at max-arrival + 1 each: 11, 22, 33.
+  EXPECT_EQ(times, (std::vector<SimTime>{11, 11, 22, 22, 33, 33}));
+  EXPECT_EQ(barrier.generations(), 3u);
+}
+
+int64_t sum_op(int64_t a, int64_t b) { return a + b; }
+int64_t min_op(int64_t a, int64_t b) { return a < b ? a : b; }
+
+TEST(ReduceBarrierTest, SumAcrossParties) {
+  Engine engine;
+  ReduceBarrier<int64_t> rb(engine, 3, sum_op, 0);
+  std::vector<int64_t> results;
+  auto party = [&](int64_t value) -> Process {
+    results.push_back(co_await rb.arrive(value));
+  };
+  spawn(engine, party(4));
+  spawn(engine, party(-9));
+  spawn(engine, party(5));
+  engine.run();
+  EXPECT_EQ(results, (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(ReduceBarrierTest, MinResetsBetweenGenerations) {
+  Engine engine;
+  ReduceBarrier<int64_t> rb(engine, 2, min_op, std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> results;
+  auto party = [&](int64_t first, int64_t second) -> Process {
+    results.push_back(co_await rb.arrive(first));
+    results.push_back(co_await rb.arrive(second));
+  };
+  spawn(engine, party(10, 3));
+  spawn(engine, party(7, 8));
+  engine.run();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], 7);
+  EXPECT_EQ(results[1], 7);
+  EXPECT_EQ(results[2], 3);
+  EXPECT_EQ(results[3], 3);
+}
+
+TEST(MutexTest, UncontendedAcquirePaysAcquireCost) {
+  Engine engine;
+  Mutex mutex(engine, /*acquire_cost=*/5, /*handoff_cost=*/3);
+  SimTime acquired_at = -1;
+  auto locker = [&]() -> Process {
+    co_await mutex.lock();
+    acquired_at = engine.now();
+    mutex.unlock();
+  };
+  spawn(engine, locker());
+  engine.run();
+  EXPECT_EQ(acquired_at, 5);
+  EXPECT_EQ(mutex.acquisitions(), 1u);
+  EXPECT_EQ(mutex.contended_acquisitions(), 0u);
+}
+
+TEST(MutexTest, ContendedWaitersAreServedFifoWithHandoffCost) {
+  Engine engine;
+  Mutex mutex(engine, 0, /*handoff_cost=*/2);
+  std::vector<std::pair<int, SimTime>> acquired;
+  auto locker = [&](int id, SimTime arrive, SimTime hold) -> Process {
+    co_await delay(arrive);
+    co_await mutex.lock();
+    acquired.emplace_back(id, engine.now());
+    co_await delay(hold);
+    mutex.unlock();
+  };
+  spawn(engine, locker(1, 0, 100));
+  spawn(engine, locker(2, 10, 50));
+  spawn(engine, locker(3, 20, 50));
+  engine.run();
+  ASSERT_EQ(acquired.size(), 3u);
+  EXPECT_EQ(acquired[0], (std::pair<int, SimTime>{1, 0}));
+  EXPECT_EQ(acquired[1], (std::pair<int, SimTime>{2, 102}));   // 0+100 hold + 2 handoff
+  EXPECT_EQ(acquired[2], (std::pair<int, SimTime>{3, 154}));   // 102+50 + 2
+  EXPECT_EQ(mutex.contended_acquisitions(), 2u);
+  // Wait time: waiter 2 waited 102-10 = 92; waiter 3 waited 154-20 = 134.
+  EXPECT_EQ(mutex.total_wait_time(), 226);
+}
+
+TEST(MutexTest, GuardUnlocksAtScopeExit) {
+  Engine engine;
+  Mutex mutex(engine);
+  SimTime second_acquired = -1;
+  auto first = [&]() -> Process {
+    {
+      co_await mutex.lock();
+      MutexGuard guard(mutex);
+      co_await delay(10);
+    }
+    co_await delay(100);
+  };
+  auto second = [&]() -> Process {
+    co_await delay(1);
+    co_await mutex.lock();
+    second_acquired = engine.now();
+    mutex.unlock();
+  };
+  spawn(engine, first());
+  spawn(engine, second());
+  engine.run();
+  EXPECT_EQ(second_acquired, 10);  // released by the guard, not 110
+}
+
+TEST(MutexDeathTest, UnlockWithoutHoldAborts) {
+  Engine engine;
+  Mutex mutex(engine);
+  EXPECT_DEATH(mutex.unlock(), "not held");
+}
+
+TEST(TriggerTest, WaitersResumeOnSet) {
+  Engine engine;
+  Trigger trigger(engine);
+  std::vector<SimTime> woke;
+  auto waiter = [&]() -> Process {
+    co_await trigger.wait();
+    woke.push_back(engine.now());
+  };
+  spawn(engine, waiter());
+  spawn(engine, waiter());
+  engine.call_at(25, [&] { trigger.set(); });
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<SimTime>{25, 25}));
+}
+
+TEST(TriggerTest, SetThenWaitCompletesImmediately) {
+  Engine engine;
+  Trigger trigger(engine);
+  trigger.set();
+  SimTime woke = -1;
+  auto waiter = [&]() -> Process {
+    co_await delay(5);
+    co_await trigger.wait();
+    woke = engine.now();
+  };
+  spawn(engine, waiter());
+  engine.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(TriggerTest, ResetRearmsTheTrigger) {
+  Engine engine;
+  Trigger trigger(engine);
+  trigger.set();
+  trigger.reset();
+  bool woke = false;
+  auto waiter = [&]() -> Process {
+    co_await trigger.wait();
+    woke = true;
+  };
+  spawn(engine, waiter());
+  engine.run(50);
+  EXPECT_FALSE(woke);
+  trigger.set();
+  engine.run();
+  EXPECT_TRUE(woke);
+}
+
+}  // namespace
+}  // namespace cagvt::metasim

@@ -1,0 +1,218 @@
+// PHOLD family: destination distributions, replay determinism, phase
+// switching, imbalance classification.
+#include <gtest/gtest.h>
+
+#include "models/imbalanced_phold.hpp"
+#include "models/mixed_phold.hpp"
+#include "models/phold.hpp"
+
+namespace cagvt::models {
+namespace {
+
+using pdes::Event;
+using pdes::EventSink;
+using pdes::LpId;
+using pdes::LpMap;
+
+Event run_handler(const pdes::Model& model, std::vector<std::byte>& state, const Event& in) {
+  InlineVec<Event, 2> out;
+  EventSink sink(in.dst_lp, in.recv_ts, in.uid, out);
+  model.handle_event({state.data(), state.size()}, in, sink);
+  CAGVT_CHECK(out.size() == 1);
+  return out[0];
+}
+
+Event make_input(LpId dst, double ts, std::uint64_t uid) {
+  Event e;
+  e.recv_ts = ts;
+  e.uid = uid;
+  e.dst_lp = dst;
+  e.src_lp = dst;
+  return e;
+}
+
+TEST(PholdTest, EachEventGeneratesExactlyOne) {
+  LpMap map(2, 2, 4);
+  PholdModel model(map, {});
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  const Event out = run_handler(model, state, make_input(0, 1.0, 42));
+  EXPECT_GT(out.recv_ts, 1.0);
+  EXPECT_EQ(out.src_lp, 0);
+  EXPECT_GE(out.dst_lp, 0);
+  EXPECT_LT(out.dst_lp, map.total_lps());
+}
+
+TEST(PholdTest, ReplayIsBitIdentical) {
+  LpMap map(2, 2, 4);
+  PholdModel model(map, {});
+  std::vector<std::byte> s1(model.state_size(), std::byte{0});
+  std::vector<std::byte> s2(model.state_size(), std::byte{0});
+  const Event in = make_input(3, 2.5, 777);
+  const Event a = run_handler(model, s1, in);
+  const Event b = run_handler(model, s2, in);
+  EXPECT_EQ(a.uid, b.uid);
+  EXPECT_EQ(a.dst_lp, b.dst_lp);
+  EXPECT_DOUBLE_EQ(a.recv_ts, b.recv_ts);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(PholdTest, DestinationMixMatchesConfiguredPercentages) {
+  LpMap map(4, 4, 8);
+  PholdParams params;
+  params.remote_pct = 0.10;
+  params.regional_pct = 0.30;
+  PholdModel model(map, params);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+
+  const LpId src = 0;
+  int local = 0, regional = 0, remote = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const Event out =
+        run_handler(model, state, make_input(src, 1.0, 1000 + static_cast<std::uint64_t>(i)));
+    switch (classify(map, src, out.dst_lp)) {
+      case pdes::Locality::kLocal: ++local; break;
+      case pdes::Locality::kRegional: ++regional; break;
+      case pdes::Locality::kRemote: ++remote; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(remote) / kN, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(regional) / kN, 0.30, 0.015);
+  EXPECT_NEAR(static_cast<double>(local) / kN, 0.60, 0.015);
+}
+
+TEST(PholdTest, RemoteNeverTargetsOwnNodeRegionalNeverOwnWorker) {
+  LpMap map(4, 4, 8);
+  PholdParams params;
+  params.remote_pct = 0.5;
+  params.regional_pct = 0.5;  // no locals at all
+  PholdModel model(map, params);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  for (int i = 0; i < 5000; ++i) {
+    const Event out =
+        run_handler(model, state, make_input(0, 1.0, static_cast<std::uint64_t>(i)));
+    EXPECT_NE(map.worker_of(out.dst_lp), map.worker_of(0));
+  }
+}
+
+TEST(PholdTest, SingleNodeDowngradesRemoteToLocal) {
+  LpMap map(1, 1, 8);  // no other node, no other worker
+  PholdParams params;
+  params.remote_pct = 1.0;
+  PholdModel model(map, params);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  const Event out = run_handler(model, state, make_input(0, 1.0, 9));
+  EXPECT_EQ(map.worker_of(out.dst_lp), 0);
+}
+
+TEST(PholdTest, TimestampIncrementsAreExponentialWithConfiguredMean) {
+  LpMap map(1, 1, 4);
+  PholdParams params;
+  params.mean_delay = 2.0;
+  PholdModel model(map, params);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const Event out =
+        run_handler(model, state, make_input(0, 10.0, static_cast<std::uint64_t>(i)));
+    sum += out.recv_ts - 10.0;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(PholdTest, InitSchedulesConfiguredStartEvents) {
+  LpMap map(1, 1, 4);
+  PholdParams params;
+  params.start_events_per_lp = 2;
+  PholdModel model(map, params);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  InlineVec<Event, 2> out;
+  EventSink sink(1, 0.0, 123, out);
+  model.init_lp(1, {state.data(), state.size()}, sink);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].dst_lp, 1);
+  EXPECT_GT(out[0].recv_ts, 0.0);
+}
+
+TEST(MixedPholdTest, PhaseScheduleFollowsXY) {
+  LpMap map(1, 1, 1);
+  MixedPholdParams mp;
+  mp.x_pct = 10;
+  mp.y_pct = 15;
+  mp.end_vt = 100.0;
+  MixedPholdModel model(map, mp);
+  // Cycle = 25 vt; first 10 vt computation, next 15 communication.
+  EXPECT_TRUE(model.computation_phase(0.0));
+  EXPECT_TRUE(model.computation_phase(9.9));
+  EXPECT_FALSE(model.computation_phase(10.1));
+  EXPECT_FALSE(model.computation_phase(24.9));
+  EXPECT_TRUE(model.computation_phase(25.1));   // pattern repeats
+  EXPECT_FALSE(model.computation_phase(60.0));  // 60 mod 25 = 10 -> comm
+}
+
+TEST(MixedPholdTest, CostFollowsPhase) {
+  LpMap map(1, 1, 1);
+  MixedPholdParams mp;
+  mp.computation.epg_units = 10000;
+  mp.communication.epg_units = 5000;
+  mp.x_pct = 50;
+  mp.y_pct = 50;
+  mp.end_vt = 10.0;
+  MixedPholdModel model(map, mp);
+  Event e = make_input(0, 1.0, 1);
+  EXPECT_DOUBLE_EQ(model.cost_units(e), 10000);
+  e.recv_ts = 6.0;
+  EXPECT_DOUBLE_EQ(model.cost_units(e), 5000);
+}
+
+TEST(MixedPholdTest, DestinationMixFollowsPhase) {
+  LpMap map(4, 4, 4);
+  MixedPholdParams mp;
+  mp.computation.remote_pct = 0.0;
+  mp.computation.regional_pct = 0.0;
+  mp.communication.remote_pct = 0.5;
+  mp.communication.regional_pct = 0.5;
+  mp.x_pct = 50;
+  mp.y_pct = 50;
+  mp.end_vt = 10.0;
+  MixedPholdModel model(map, mp);
+  std::vector<std::byte> state(model.state_size(), std::byte{0});
+  for (int i = 0; i < 500; ++i) {
+    const Event comp =
+        run_handler(model, state, make_input(0, 1.0, static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(map.worker_of(comp.dst_lp), 0);  // all local in comp phase
+    const Event comm =
+        run_handler(model, state, make_input(0, 6.0, 100000 + static_cast<std::uint64_t>(i)));
+    EXPECT_NE(map.worker_of(comm.dst_lp), 0);  // never local in comm phase
+  }
+}
+
+TEST(ImbalancedPholdTest, HotWorkersPayMultipliedCost) {
+  LpMap map(2, 4, 4);
+  ImbalancedPholdParams ip;
+  ip.base.epg_units = 1000;
+  ip.hot_worker_fraction = 0.25;  // 1 of 4 workers per node
+  ip.hot_factor = 4.0;
+  ImbalancedPholdModel model(map, ip);
+  EXPECT_EQ(model.hot_workers_per_node(), 1);
+
+  const Event hot = make_input(map.lp_of(0, 0), 1.0, 1);   // worker 0 of node 0
+  const Event cold = make_input(map.lp_of(1, 0), 1.0, 2);  // worker 1 of node 0
+  const Event hot2 = make_input(map.lp_of(4, 0), 1.0, 3);  // worker 0 of node 1
+  EXPECT_DOUBLE_EQ(model.cost_units(hot), 4000);
+  EXPECT_DOUBLE_EQ(model.cost_units(cold), 1000);
+  EXPECT_DOUBLE_EQ(model.cost_units(hot2), 4000);
+}
+
+TEST(ImbalancedPholdTest, ZeroFractionMeansNoHotWorkers) {
+  LpMap map(2, 4, 4);
+  ImbalancedPholdParams ip;
+  ip.hot_worker_fraction = 0.0;
+  ImbalancedPholdModel model(map, ip);
+  EXPECT_EQ(model.hot_workers_per_node(), 0);
+  EXPECT_FALSE(model.is_hot(0));
+}
+
+}  // namespace
+}  // namespace cagvt::models

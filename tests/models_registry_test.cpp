@@ -1,0 +1,82 @@
+#include "models/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/imbalanced_phold.hpp"
+#include "models/mixed_phold.hpp"
+#include "models/phold.hpp"
+#include "models/reverse_phold.hpp"
+
+namespace cagvt::models {
+namespace {
+
+Options opts(std::string_view kv) { return Options::parse_kv(kv); }
+
+TEST(RegistryTest, ListsAllModels) {
+  const auto names = model_names();
+  EXPECT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    pdes::LpMap map(1, 2, 4);
+    EXPECT_NO_THROW(make_model(name, opts(""), map, 50.0)) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownModelThrows) {
+  pdes::LpMap map(1, 1, 1);
+  EXPECT_THROW(make_model("nope", opts(""), map, 10.0), std::invalid_argument);
+}
+
+TEST(RegistryTest, PholdOptionsPlumbThrough) {
+  pdes::LpMap map(2, 2, 4);
+  const auto model =
+      make_model("phold", opts("remote=0.2,regional=0.3,epg=1234,mean-delay=2.0"), map, 10);
+  const auto* phold = dynamic_cast<const PholdModel*>(model.get());
+  ASSERT_NE(phold, nullptr);
+  EXPECT_DOUBLE_EQ(phold->params().remote_pct, 0.2);
+  EXPECT_DOUBLE_EQ(phold->params().regional_pct, 0.3);
+  EXPECT_DOUBLE_EQ(phold->params().epg_units, 1234);
+  EXPECT_DOUBLE_EQ(phold->params().mean_delay, 2.0);
+}
+
+TEST(RegistryTest, MixedDefaultsToPaperProfiles) {
+  pdes::LpMap map(2, 2, 4);
+  const auto model = make_model("mixed-phold", opts("x=10,y=15"), map, 100.0);
+  const auto* mixed = dynamic_cast<const MixedPholdModel*>(model.get());
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().computation.epg_units, 10000);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().communication.epg_units, 5000);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().communication.regional_pct, 0.90);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().x_pct, 10);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().y_pct, 15);
+}
+
+TEST(RegistryTest, MixedProfileOverrides) {
+  pdes::LpMap map(2, 2, 4);
+  const auto model = make_model("mixed-phold", opts("comp-epg=7777,comm-remote=0.25"), map, 50);
+  const auto* mixed = dynamic_cast<const MixedPholdModel*>(model.get());
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().computation.epg_units, 7777);
+  EXPECT_DOUBLE_EQ(mixed->mixed_params().communication.remote_pct, 0.25);
+}
+
+TEST(RegistryTest, ImbalancedOptions) {
+  pdes::LpMap map(2, 4, 4);
+  const auto model =
+      make_model("imbalanced-phold", opts("hot-fraction=0.5,hot-factor=3"), map, 10);
+  const auto* imb = dynamic_cast<const ImbalancedPholdModel*>(model.get());
+  ASSERT_NE(imb, nullptr);
+  EXPECT_EQ(imb->hot_workers_per_node(), 2);
+  EXPECT_DOUBLE_EQ(imb->cost_units(pdes::Event{.dst_lp = 0}), 3 * 10000);
+}
+
+TEST(RegistryTest, ReversePholdSupportsReverse) {
+  pdes::LpMap map(1, 2, 4);
+  const auto model = make_model("reverse-phold", opts(""), map, 10);
+  EXPECT_TRUE(model->supports_reverse());
+  EXPECT_FALSE(make_model("phold", opts(""), map, 10)->supports_reverse());
+}
+
+}  // namespace
+}  // namespace cagvt::models

@@ -1,0 +1,46 @@
+#include "pdes/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cagvt::pdes {
+namespace {
+
+TEST(LpMapTest, SizesAndBlocks) {
+  LpMap map(/*nodes=*/4, /*workers_per_node=*/3, /*lps_per_worker=*/5);
+  EXPECT_EQ(map.total_workers(), 12);
+  EXPECT_EQ(map.total_lps(), 60);
+  EXPECT_EQ(map.first_lp_of_worker(0), 0);
+  EXPECT_EQ(map.first_lp_of_worker(11), 55);
+  EXPECT_EQ(map.lp_of(2, 4), 14);
+}
+
+TEST(LpMapTest, OwnershipRoundTrips) {
+  LpMap map(2, 4, 8);
+  for (LpId lp = 0; lp < map.total_lps(); ++lp) {
+    const int w = map.worker_of(lp);
+    EXPECT_GE(lp, map.first_lp_of_worker(w));
+    EXPECT_LT(lp, map.first_lp_of_worker(w) + map.lps_per_worker());
+    EXPECT_EQ(map.node_of(lp), map.node_of_worker(w));
+    EXPECT_EQ(map.global_worker(map.node_of(lp), map.worker_in_node(lp)), w);
+  }
+}
+
+TEST(LpMapTest, LocalityClassification) {
+  LpMap map(2, 2, 4);
+  // Worker 0 owns LPs 0..3; worker 1 owns 4..7 (node 0); worker 2 owns
+  // 8..11 (node 1).
+  EXPECT_EQ(classify(map, 0, 3), Locality::kLocal);
+  EXPECT_EQ(classify(map, 0, 0), Locality::kLocal);
+  EXPECT_EQ(classify(map, 0, 5), Locality::kRegional);
+  EXPECT_EQ(classify(map, 0, 9), Locality::kRemote);
+  EXPECT_EQ(classify(map, 9, 1), Locality::kRemote);
+}
+
+TEST(LpMapTest, SingleEverything) {
+  LpMap map(1, 1, 1);
+  EXPECT_EQ(map.total_lps(), 1);
+  EXPECT_EQ(classify(map, 0, 0), Locality::kLocal);
+}
+
+}  // namespace
+}  // namespace cagvt::pdes

@@ -1,0 +1,88 @@
+#include "pdes/pending_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cagvt::pdes {
+namespace {
+
+Event make_event(double ts, std::uint64_t uid, LpId dst = 0) {
+  Event e;
+  e.recv_ts = ts;
+  e.uid = uid;
+  e.dst_lp = dst;
+  return e;
+}
+
+TEST(PendingSetTest, PopsInKeyOrder) {
+  PendingSet set;
+  set.push(make_event(3.0, 1));
+  set.push(make_event(1.0, 2));
+  set.push(make_event(2.0, 3));
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 2u);
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 3u);
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 1u);
+  EXPECT_EQ(set.pop_next(kVtInfinity), std::nullopt);
+}
+
+TEST(PendingSetTest, UidBreaksTimestampTies) {
+  PendingSet set;
+  set.push(make_event(1.0, 9));
+  set.push(make_event(1.0, 4));
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 4u);
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 9u);
+}
+
+TEST(PendingSetTest, BoundExcludesLaterEvents) {
+  PendingSet set;
+  set.push(make_event(5.0, 1));
+  EXPECT_EQ(set.pop_next(4.9), std::nullopt);
+  EXPECT_EQ(set.min_key()->ts, 5.0);  // still there
+  EXPECT_EQ(set.pop_next(5.0)->uid, 1u);
+}
+
+TEST(PendingSetTest, CancelRemovesPending) {
+  PendingSet set;
+  set.push(make_event(1.0, 1));
+  set.push(make_event(2.0, 2));
+  EXPECT_TRUE(set.cancel(1));
+  EXPECT_FALSE(set.cancel(1));   // already gone
+  EXPECT_FALSE(set.cancel(99));  // never present
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 2u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PendingSetTest, CancelUpdatesMinKey) {
+  PendingSet set;
+  set.push(make_event(1.0, 1));
+  set.push(make_event(2.0, 2));
+  EXPECT_TRUE(set.cancel(1));
+  EXPECT_EQ(set.min_key()->ts, 2.0);
+}
+
+TEST(PendingSetTest, SizeTracksLiveEvents) {
+  PendingSet set;
+  set.push(make_event(1.0, 1));
+  set.push(make_event(2.0, 2));
+  EXPECT_EQ(set.size(), 2u);
+  set.cancel(2);
+  EXPECT_EQ(set.size(), 1u);  // tombstone not counted
+}
+
+TEST(PendingSetDeathTest, DuplicateUidAborts) {
+  PendingSet set;
+  set.push(make_event(1.0, 7));
+  EXPECT_DEATH(set.push(make_event(2.0, 7)), "duplicate event uid");
+}
+
+TEST(PendingSetTest, ReinsertAfterCancelIsAllowed) {
+  // Rollback reinsertion after an earlier annihilation of a different copy
+  // must work: cancel removes the uid from the live set entirely.
+  PendingSet set;
+  set.push(make_event(1.0, 7));
+  set.cancel(7);
+  set.push(make_event(1.0, 7));
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 7u);
+}
+
+}  // namespace
+}  // namespace cagvt::pdes

@@ -1,0 +1,56 @@
+// Deterministic scripted model for engine unit tests: no randomness, so
+// every test can predict exact timestamps, uids, and state contents.
+#pragma once
+
+#include "pdes/model.hpp"
+
+namespace cagvt::pdes::testing {
+
+struct TestModelCfg {
+  bool generate = true;   // handler schedules one follow-up event
+  double delay = 1.0;     // timestamp increment of follow-ups
+  int stride = 1;         // follow-up destination = (lp + stride) % total
+  bool start_event = true;
+  double start_base = 1.0;  // LP k starts at start_base + 0.25*k
+  double cost = 10.0;
+};
+
+class TestModel : public Model {
+ public:
+  TestModel(const LpMap& map, TestModelCfg cfg = {}) : map_(map), cfg_(cfg) {}
+
+  struct State {
+    std::uint64_t count;
+    double last_ts;
+    std::uint64_t checksum;
+  };
+
+  std::size_t state_size() const override { return sizeof(State); }
+
+  void init_lp(LpId lp, std::span<std::byte> state, EventSink& sink) const override {
+    state_as<State>(state) = State{0, 0.0, 0};
+    if (cfg_.start_event)
+      sink.schedule(lp, cfg_.start_base + 0.25 * static_cast<double>(lp));
+  }
+
+  void handle_event(std::span<std::byte> state, const Event& event,
+                    EventSink& sink) const override {
+    auto& s = state_as<State>(state);
+    ++s.count;
+    s.last_ts = event.recv_ts;
+    s.checksum = hash_combine(s.checksum, event.uid);
+    if (cfg_.generate) {
+      const LpId dst =
+          static_cast<LpId>((event.dst_lp + cfg_.stride) % map_.total_lps());
+      sink.schedule(dst, event.recv_ts + cfg_.delay);
+    }
+  }
+
+  double cost_units(const Event&) const override { return cfg_.cost; }
+
+ private:
+  const LpMap& map_;
+  TestModelCfg cfg_;
+};
+
+}  // namespace cagvt::pdes::testing

@@ -1,0 +1,85 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cagvt {
+namespace {
+
+Options parse_args(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, EqualsAndSpaceSyntax) {
+  const auto opts = parse_args({"--nodes=8", "--threads", "60"});
+  EXPECT_EQ(opts.get_int("nodes", 0), 8);
+  EXPECT_EQ(opts.get_int("threads", 0), 60);
+}
+
+TEST(OptionsTest, BareFlagIsTrue) {
+  const auto opts = parse_args({"--dedicated-mpi"});
+  EXPECT_TRUE(opts.get_bool("dedicated-mpi", false));
+  EXPECT_FALSE(opts.get_bool("absent", false));
+}
+
+TEST(OptionsTest, DefaultsWhenAbsent) {
+  const auto opts = parse_args({});
+  EXPECT_EQ(opts.get_string("model", "phold"), "phold");
+  EXPECT_DOUBLE_EQ(opts.get_double("remote", 0.01), 0.01);
+}
+
+TEST(OptionsTest, PositionalCollected) {
+  const auto opts = parse_args({"run", "--n=1", "fig5"});
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "run");
+  EXPECT_EQ(opts.positional()[1], "fig5");
+}
+
+TEST(OptionsTest, InvalidIntegerThrows) {
+  const auto opts = parse_args({"--n=abc"});
+  EXPECT_THROW(opts.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, InvalidDoubleThrows) {
+  const auto opts = parse_args({"--x=1.2.3"});
+  EXPECT_THROW(opts.get_double("x", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, InvalidBoolThrows) {
+  const auto opts = parse_args({"--b=maybe"});
+  EXPECT_THROW(opts.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(OptionsTest, BoolSpellings) {
+  const auto opts = parse_args({"--a=yes", "--b=off", "--c=1", "--d=false"});
+  EXPECT_TRUE(opts.get_bool("a", false));
+  EXPECT_FALSE(opts.get_bool("b", true));
+  EXPECT_TRUE(opts.get_bool("c", false));
+  EXPECT_FALSE(opts.get_bool("d", true));
+}
+
+TEST(OptionsTest, UnusedKeysReported) {
+  const auto opts = parse_args({"--nodes=8", "--typo=1"});
+  EXPECT_EQ(opts.get_int("nodes", 0), 8);
+  const auto unused = opts.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(OptionsTest, ParseKvString) {
+  const auto opts = Options::parse_kv("epg=10000,remote=0.01,dedicated");
+  EXPECT_EQ(opts.get_int("epg", 0), 10000);
+  EXPECT_DOUBLE_EQ(opts.get_double("remote", 0), 0.01);
+  EXPECT_TRUE(opts.get_bool("dedicated", false));
+}
+
+TEST(OptionsTest, NegativeNumberAsValue) {
+  const auto opts = parse_args({"--offset=-5"});
+  EXPECT_EQ(opts.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace cagvt

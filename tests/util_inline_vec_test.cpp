@@ -1,0 +1,81 @@
+#include "util/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cagvt {
+namespace {
+
+TEST(InlineVecTest, InlinePushAndIndex) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], static_cast<int>(i) * 10);
+}
+
+TEST(InlineVecTest, SpillsToHeapBeyondInlineCapacity) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(v[i], static_cast<int>(i));
+}
+
+TEST(InlineVecTest, CopyPreservesBothRegions) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  InlineVec<int, 2> copy(v);
+  ASSERT_EQ(copy.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(copy[i], static_cast<int>(i));
+  copy[0] = 99;  // independent storage
+  EXPECT_EQ(v[0], 0);
+}
+
+TEST(InlineVecTest, MoveLeavesSourceEmpty) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  InlineVec<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 5u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): defined behaviour
+}
+
+TEST(InlineVecTest, AssignmentOverwrites) {
+  InlineVec<int, 2> a, b;
+  a.push_back(1);
+  for (int i = 0; i < 4; ++i) b.push_back(i + 10);
+  a = b;
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[3], 13);
+}
+
+TEST(InlineVecTest, ClearResets) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(InlineVecTest, AssignFromRawBuffer) {
+  const unsigned char raw[] = {1, 2, 3, 4, 5, 6};
+  InlineVec<unsigned char, 4> v;
+  v.assign(raw, sizeof raw);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[5], 6);
+  // Re-assign with fewer elements shrinks.
+  v.assign(raw, 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVecTest, MutationThroughIndex) {
+  InlineVec<int, 1> v;
+  v.push_back(1);
+  v.push_back(2);
+  v[0] = 10;
+  v[1] = 20;  // heap element
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+}
+
+}  // namespace
+}  // namespace cagvt

@@ -1,0 +1,113 @@
+// RNG determinism, distribution sanity, and the replay property that Time
+// Warp re-execution depends on.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cagvt {
+namespace {
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Regression pin: these values must never change across refactors, or
+  // every recorded experiment becomes irreproducible.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+TEST(XoshiroTest, SameSeedSameStream) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(XoshiroTest, NextBelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256StarStar rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(CounterRngTest, ReplayFromSameCounterIsIdentical) {
+  // The Time Warp property: rolling back and re-executing an event must
+  // reproduce the same draws.
+  CounterRng first(/*key=*/42, /*counter=*/1000);
+  std::vector<std::uint64_t> draws;
+  for (int i = 0; i < 16; ++i) draws.push_back(first.next_u64());
+
+  CounterRng replay(42, 1000);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(replay.next_u64(), draws[static_cast<std::size_t>(i)]);
+}
+
+TEST(CounterRngTest, DistinctKeysGiveDistinctStreams) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    CounterRng rng(key, 0);
+    seen.insert(rng.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(CounterRngTest, DistinctCountersGiveDistinctDraws) {
+  std::set<std::uint64_t> seen;
+  CounterRng rng(5, 0);
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(CounterRngTest, ExponentialHasRequestedMean) {
+  CounterRng rng(11, 0);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(CounterRngTest, NextBelowUniform) {
+  CounterRng rng(3, 0);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[static_cast<std::size_t>(rng.next_below(8))];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+}  // namespace
+}  // namespace cagvt

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cagvt {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Population stddev of this classic data set is exactly 2.
+  EXPECT_NEAR(s.stddev_population(), 2.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.stddev_population(), 0.5, 1e-6);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps to bucket 0
+  h.add(0.5);
+  h.add(3.0);
+  h.add(9.99);
+  h.add(42.0);  // clamps to last bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+  EXPECT_EQ(h.stat().count(), 5u);
+}
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(FormatTest, Si) {
+  EXPECT_EQ(format_si(950.0), "950.00");
+  EXPECT_EQ(format_si(1500.0), "1.50K");
+  EXPECT_EQ(format_si(2.34e6), "2.34M");
+  EXPECT_EQ(format_si(7.8e9), "7.80G");
+}
+
+}  // namespace
+}  // namespace cagvt
