@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_gvt_interval.dir/abl01_gvt_interval.cpp.o"
+  "CMakeFiles/abl01_gvt_interval.dir/abl01_gvt_interval.cpp.o.d"
+  "abl01_gvt_interval"
+  "abl01_gvt_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_gvt_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl01_gvt_interval.
+# This may be replaced when dependencies are built.

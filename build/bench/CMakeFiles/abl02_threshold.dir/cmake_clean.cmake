@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_threshold.dir/abl02_threshold.cpp.o"
+  "CMakeFiles/abl02_threshold.dir/abl02_threshold.cpp.o.d"
+  "abl02_threshold"
+  "abl02_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

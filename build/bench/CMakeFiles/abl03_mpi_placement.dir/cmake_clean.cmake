@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_mpi_placement.dir/abl03_mpi_placement.cpp.o"
+  "CMakeFiles/abl03_mpi_placement.dir/abl03_mpi_placement.cpp.o.d"
+  "abl03_mpi_placement"
+  "abl03_mpi_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_mpi_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

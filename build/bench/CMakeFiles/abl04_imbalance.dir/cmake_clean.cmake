@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_imbalance.dir/abl04_imbalance.cpp.o"
+  "CMakeFiles/abl04_imbalance.dir/abl04_imbalance.cpp.o.d"
+  "abl04_imbalance"
+  "abl04_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

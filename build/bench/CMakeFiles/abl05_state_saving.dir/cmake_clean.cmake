@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_state_saving.dir/abl05_state_saving.cpp.o"
+  "CMakeFiles/abl05_state_saving.dir/abl05_state_saving.cpp.o.d"
+  "abl05_state_saving"
+  "abl05_state_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_state_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl05_state_saving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dedicated_comp.dir/fig03_dedicated_comp.cpp.o"
+  "CMakeFiles/fig03_dedicated_comp.dir/fig03_dedicated_comp.cpp.o.d"
+  "fig03_dedicated_comp"
+  "fig03_dedicated_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dedicated_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_dedicated_comp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dedicated_comm.dir/fig04_dedicated_comm.cpp.o"
+  "CMakeFiles/fig04_dedicated_comm.dir/fig04_dedicated_comm.cpp.o.d"
+  "fig04_dedicated_comm"
+  "fig04_dedicated_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dedicated_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_comp_mattern_barrier.dir/fig05_comp_mattern_barrier.cpp.o"
+  "CMakeFiles/fig05_comp_mattern_barrier.dir/fig05_comp_mattern_barrier.cpp.o.d"
+  "fig05_comp_mattern_barrier"
+  "fig05_comp_mattern_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_comp_mattern_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_comp_mattern_barrier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_comm_mattern_barrier.dir/fig06_comm_mattern_barrier.cpp.o"
+  "CMakeFiles/fig06_comm_mattern_barrier.dir/fig06_comm_mattern_barrier.cpp.o.d"
+  "fig06_comm_mattern_barrier"
+  "fig06_comm_mattern_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_comm_mattern_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

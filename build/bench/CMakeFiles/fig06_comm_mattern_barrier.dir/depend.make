@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_comm_mattern_barrier.
+# This may be replaced when dependencies are built.

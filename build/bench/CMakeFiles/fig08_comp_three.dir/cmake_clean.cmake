@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_comp_three.dir/fig08_comp_three.cpp.o"
+  "CMakeFiles/fig08_comp_three.dir/fig08_comp_three.cpp.o.d"
+  "fig08_comp_three"
+  "fig08_comp_three.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_comp_three.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

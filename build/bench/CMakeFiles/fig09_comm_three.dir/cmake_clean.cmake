@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_comm_three.dir/fig09_comm_three.cpp.o"
+  "CMakeFiles/fig09_comm_three.dir/fig09_comm_three.cpp.o.d"
+  "fig09_comm_three"
+  "fig09_comm_three.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_comm_three.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

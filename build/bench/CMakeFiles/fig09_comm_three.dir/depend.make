@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_comm_three.
+# This may be replaced when dependencies are built.

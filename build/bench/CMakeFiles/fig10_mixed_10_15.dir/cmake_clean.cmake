@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mixed_10_15.dir/fig10_mixed_10_15.cpp.o"
+  "CMakeFiles/fig10_mixed_10_15.dir/fig10_mixed_10_15.cpp.o.d"
+  "fig10_mixed_10_15"
+  "fig10_mixed_10_15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mixed_10_15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mixed_5_5.dir/fig12_mixed_5_5.cpp.o"
+  "CMakeFiles/fig12_mixed_5_5.dir/fig12_mixed_5_5.cpp.o.d"
+  "fig12_mixed_5_5"
+  "fig12_mixed_5_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mixed_5_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

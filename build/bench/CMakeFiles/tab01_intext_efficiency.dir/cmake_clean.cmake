@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_intext_efficiency.dir/tab01_intext_efficiency.cpp.o"
+  "CMakeFiles/tab01_intext_efficiency.dir/tab01_intext_efficiency.cpp.o.d"
+  "tab01_intext_efficiency"
+  "tab01_intext_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_intext_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

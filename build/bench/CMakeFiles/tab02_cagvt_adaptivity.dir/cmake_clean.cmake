@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_cagvt_adaptivity.dir/tab02_cagvt_adaptivity.cpp.o"
+  "CMakeFiles/tab02_cagvt_adaptivity.dir/tab02_cagvt_adaptivity.cpp.o.d"
+  "tab02_cagvt_adaptivity"
+  "tab02_cagvt_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_cagvt_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

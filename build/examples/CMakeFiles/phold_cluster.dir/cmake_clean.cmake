@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phold_cluster.dir/phold_cluster.cpp.o"
+  "CMakeFiles/phold_cluster.dir/phold_cluster.cpp.o.d"
+  "phold_cluster"
+  "phold_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phold_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

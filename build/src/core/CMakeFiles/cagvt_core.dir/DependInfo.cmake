@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barrier_gvt.cpp" "src/core/CMakeFiles/cagvt_core.dir/barrier_gvt.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/barrier_gvt.cpp.o.d"
+  "/root/repo/src/core/ca_gvt.cpp" "src/core/CMakeFiles/cagvt_core.dir/ca_gvt.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/ca_gvt.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/cagvt_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/gvt_factory.cpp" "src/core/CMakeFiles/cagvt_core.dir/gvt_factory.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/gvt_factory.cpp.o.d"
+  "/root/repo/src/core/mattern_gvt.cpp" "src/core/CMakeFiles/cagvt_core.dir/mattern_gvt.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/mattern_gvt.cpp.o.d"
+  "/root/repo/src/core/node_runtime.cpp" "src/core/CMakeFiles/cagvt_core.dir/node_runtime.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/node_runtime.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/cagvt_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/cagvt_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/cagvt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/cagvt_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/metasim/CMakeFiles/cagvt_metasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cagvt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cagvt_core.dir/barrier_gvt.cpp.o"
+  "CMakeFiles/cagvt_core.dir/barrier_gvt.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/ca_gvt.cpp.o"
+  "CMakeFiles/cagvt_core.dir/ca_gvt.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/experiment.cpp.o"
+  "CMakeFiles/cagvt_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/gvt_factory.cpp.o"
+  "CMakeFiles/cagvt_core.dir/gvt_factory.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/mattern_gvt.cpp.o"
+  "CMakeFiles/cagvt_core.dir/mattern_gvt.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/node_runtime.cpp.o"
+  "CMakeFiles/cagvt_core.dir/node_runtime.cpp.o.d"
+  "CMakeFiles/cagvt_core.dir/simulation.cpp.o"
+  "CMakeFiles/cagvt_core.dir/simulation.cpp.o.d"
+  "libcagvt_core.a"
+  "libcagvt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cagvt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

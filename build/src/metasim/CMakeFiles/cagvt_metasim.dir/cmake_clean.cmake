@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cagvt_metasim.dir/engine.cpp.o"
+  "CMakeFiles/cagvt_metasim.dir/engine.cpp.o.d"
+  "libcagvt_metasim.a"
+  "libcagvt_metasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cagvt_metasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cagvt_metasim.
+# This may be replaced when dependencies are built.

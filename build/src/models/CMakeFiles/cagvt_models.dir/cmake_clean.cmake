@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cagvt_models.dir/mixed_phold.cpp.o"
+  "CMakeFiles/cagvt_models.dir/mixed_phold.cpp.o.d"
+  "CMakeFiles/cagvt_models.dir/phold.cpp.o"
+  "CMakeFiles/cagvt_models.dir/phold.cpp.o.d"
+  "CMakeFiles/cagvt_models.dir/registry.cpp.o"
+  "CMakeFiles/cagvt_models.dir/registry.cpp.o.d"
+  "libcagvt_models.a"
+  "libcagvt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cagvt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

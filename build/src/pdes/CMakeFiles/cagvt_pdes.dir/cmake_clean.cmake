@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cagvt_pdes.dir/kernel.cpp.o"
+  "CMakeFiles/cagvt_pdes.dir/kernel.cpp.o.d"
+  "CMakeFiles/cagvt_pdes.dir/seqref.cpp.o"
+  "CMakeFiles/cagvt_pdes.dir/seqref.cpp.o.d"
+  "libcagvt_pdes.a"
+  "libcagvt_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cagvt_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cagvt_util.dir/config.cpp.o"
+  "CMakeFiles/cagvt_util.dir/config.cpp.o.d"
+  "CMakeFiles/cagvt_util.dir/log.cpp.o"
+  "CMakeFiles/cagvt_util.dir/log.cpp.o.d"
+  "CMakeFiles/cagvt_util.dir/stats.cpp.o"
+  "CMakeFiles/cagvt_util.dir/stats.cpp.o.d"
+  "libcagvt_util.a"
+  "libcagvt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cagvt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcagvt_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gvt_test.dir/core_gvt_test.cpp.o"
+  "CMakeFiles/core_gvt_test.dir/core_gvt_test.cpp.o.d"
+  "core_gvt_test"
+  "core_gvt_test.pdb"
+  "core_gvt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gvt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

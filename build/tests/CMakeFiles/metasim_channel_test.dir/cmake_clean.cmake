@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasim_channel_test.dir/metasim_channel_test.cpp.o"
+  "CMakeFiles/metasim_channel_test.dir/metasim_channel_test.cpp.o.d"
+  "metasim_channel_test"
+  "metasim_channel_test.pdb"
+  "metasim_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasim_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasim_engine_test.dir/metasim_engine_test.cpp.o"
+  "CMakeFiles/metasim_engine_test.dir/metasim_engine_test.cpp.o.d"
+  "metasim_engine_test"
+  "metasim_engine_test.pdb"
+  "metasim_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasim_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

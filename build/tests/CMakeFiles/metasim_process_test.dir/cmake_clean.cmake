@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasim_process_test.dir/metasim_process_test.cpp.o"
+  "CMakeFiles/metasim_process_test.dir/metasim_process_test.cpp.o.d"
+  "metasim_process_test"
+  "metasim_process_test.pdb"
+  "metasim_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasim_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

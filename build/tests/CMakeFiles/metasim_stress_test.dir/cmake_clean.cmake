@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasim_stress_test.dir/metasim_stress_test.cpp.o"
+  "CMakeFiles/metasim_stress_test.dir/metasim_stress_test.cpp.o.d"
+  "metasim_stress_test"
+  "metasim_stress_test.pdb"
+  "metasim_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasim_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

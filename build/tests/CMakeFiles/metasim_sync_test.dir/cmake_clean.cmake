@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasim_sync_test.dir/metasim_sync_test.cpp.o"
+  "CMakeFiles/metasim_sync_test.dir/metasim_sync_test.cpp.o.d"
+  "metasim_sync_test"
+  "metasim_sync_test.pdb"
+  "metasim_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasim_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

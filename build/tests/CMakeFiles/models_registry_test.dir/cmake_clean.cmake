@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_registry_test.dir/models_registry_test.cpp.o"
+  "CMakeFiles/models_registry_test.dir/models_registry_test.cpp.o.d"
+  "models_registry_test"
+  "models_registry_test.pdb"
+  "models_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

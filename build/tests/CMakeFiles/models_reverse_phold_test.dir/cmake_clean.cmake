@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_reverse_phold_test.dir/models_reverse_phold_test.cpp.o"
+  "CMakeFiles/models_reverse_phold_test.dir/models_reverse_phold_test.cpp.o.d"
+  "models_reverse_phold_test"
+  "models_reverse_phold_test.pdb"
+  "models_reverse_phold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_reverse_phold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_vmpi_test.dir/net_vmpi_test.cpp.o"
+  "CMakeFiles/net_vmpi_test.dir/net_vmpi_test.cpp.o.d"
+  "net_vmpi_test"
+  "net_vmpi_test.pdb"
+  "net_vmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_vmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

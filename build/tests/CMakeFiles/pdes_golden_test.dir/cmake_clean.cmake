@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdes_golden_test.dir/pdes_golden_test.cpp.o"
+  "CMakeFiles/pdes_golden_test.dir/pdes_golden_test.cpp.o.d"
+  "pdes_golden_test"
+  "pdes_golden_test.pdb"
+  "pdes_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdes_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

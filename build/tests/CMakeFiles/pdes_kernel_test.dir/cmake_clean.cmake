@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdes_kernel_test.dir/pdes_kernel_test.cpp.o"
+  "CMakeFiles/pdes_kernel_test.dir/pdes_kernel_test.cpp.o.d"
+  "pdes_kernel_test"
+  "pdes_kernel_test.pdb"
+  "pdes_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdes_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdes_mapping_test.dir/pdes_mapping_test.cpp.o"
+  "CMakeFiles/pdes_mapping_test.dir/pdes_mapping_test.cpp.o.d"
+  "pdes_mapping_test"
+  "pdes_mapping_test.pdb"
+  "pdes_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdes_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

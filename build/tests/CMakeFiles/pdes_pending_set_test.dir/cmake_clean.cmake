@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdes_pending_set_test.dir/pdes_pending_set_test.cpp.o"
+  "CMakeFiles/pdes_pending_set_test.dir/pdes_pending_set_test.cpp.o.d"
+  "pdes_pending_set_test"
+  "pdes_pending_set_test.pdb"
+  "pdes_pending_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdes_pending_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

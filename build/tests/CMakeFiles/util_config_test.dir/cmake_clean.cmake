@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_config_test.dir/util_config_test.cpp.o"
+  "CMakeFiles/util_config_test.dir/util_config_test.cpp.o.d"
+  "util_config_test"
+  "util_config_test.pdb"
+  "util_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_inline_vec_test.dir/util_inline_vec_test.cpp.o"
+  "CMakeFiles/util_inline_vec_test.dir/util_inline_vec_test.cpp.o.d"
+  "util_inline_vec_test"
+  "util_inline_vec_test.pdb"
+  "util_inline_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_inline_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_config_test[1]_include.cmake")
+include("/root/repo/build/tests/metasim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/metasim_process_test[1]_include.cmake")
+include("/root/repo/build/tests/metasim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/metasim_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/pdes_mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/pdes_pending_set_test[1]_include.cmake")
+include("/root/repo/build/tests/pdes_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/pdes_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/models_phold_test[1]_include.cmake")
+include("/root/repo/build/tests/core_simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/util_inline_vec_test[1]_include.cmake")
+include("/root/repo/build/tests/net_vmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_gvt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/models_reverse_phold_test[1]_include.cmake")
+include("/root/repo/build/tests/models_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/core_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/metasim_stress_test[1]_include.cmake")
