@@ -5,9 +5,16 @@
 // both pure algorithms.
 //
 //   ./build/examples/adaptive_demo [--nodes=8] [--threshold=0.8]
+//                                  [--trace-out=ca.json] [--metrics-out=ca.csv]
+//
+// --trace-out writes the CA-GVT run's structured trace as Chrome
+// trace-event JSON (open in ui.perfetto.dev); --metrics-out writes the
+// run's metrics snapshot as CSV.
 #include <cstdio>
+#include <string>
 
 #include "core/experiment.hpp"
+#include "obs/export.hpp"
 #include "util/config.hpp"
 
 using namespace cagvt;
@@ -16,10 +23,14 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
   const double threshold = opts.get_double("threshold", 0.8);
+  const std::string trace_out = opts.get_string("trace-out", "");
+  const std::string metrics_out = opts.get_string("metrics-out", "");
 
   core::SimulationConfig cfg = core::scaled_config(nodes, core::bench_scale_from_env());
   cfg.end_vt = 150.0;  // long enough for each phase's dynamics to develop
   cfg.ca_efficiency_threshold = threshold;
+  cfg.obs.trace = !trace_out.empty();
+  cfg.obs.metrics = !metrics_out.empty();
 
   std::printf("Mixed 10-15 PHOLD model on %d nodes (CA threshold %.0f%%)\n", nodes,
               threshold * 100);
@@ -35,6 +46,29 @@ int main(int argc, char** argv) {
     rates[i++] = r.committed_rate;
     std::printf("%-9s: %s\n", std::string(to_string(kind)).c_str(),
                 core::describe(r).c_str());
+
+    // Export the CA-GVT run — it is the one whose mode switches the demo
+    // is about.
+    if (kind == core::GvtKind::kControlledAsync) {
+      if (!trace_out.empty() && r.trace) {
+        if (obs::write_chrome_trace(*r.trace, trace_out)) {
+          std::printf("  trace  -> %s (%zu records, %llu dropped)\n", trace_out.c_str(),
+                      r.trace->records().size(),
+                      static_cast<unsigned long long>(r.trace->dropped()));
+        } else {
+          std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+          return 1;
+        }
+      }
+      if (!metrics_out.empty() && r.metrics) {
+        if (obs::write_metrics_csv(r.metrics->snapshot(), metrics_out)) {
+          std::printf("  metrics -> %s\n", metrics_out.c_str());
+        } else {
+          std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+          return 1;
+        }
+      }
+    }
   }
 
   std::printf("\nCA-GVT vs Mattern: %+.1f%%   CA-GVT vs Barrier: %+.1f%%\n",

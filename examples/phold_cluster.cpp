@@ -1,7 +1,7 @@
 // Full-featured CLI for the CA-GVT simulator: run any model on any cluster
 // configuration and print the paper's metrics.
 //
-//   phold_cluster --nodes=8 --threads=7 --lps=16 --gvt=ca-gvt \
+//   phold_cluster --nodes=8 --threads=7 --lps=16 --gvt=ca-gvt
 //                 --mpi=dedicated --regional=0.9 --remote=0.1 --epg=5000
 //
 // Options (defaults in parentheses):
@@ -19,13 +19,18 @@
 //   model parameters   --remote --regional --epg --mean-delay
 //                      --x --y (mixed), --hot-fraction --hot-factor
 //   --trace            print the GVT trace
+//   --trace-out FILE   write a Chrome trace-event JSON (Perfetto) trace
+//   --trace-csv FILE   write the structured trace as CSV
+//   --metrics-out FILE write the metrics snapshot as CSV
 //   --verbose          info-level logging
 #include <cstdio>
 #include <exception>
+#include <string>
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
 #include "models/registry.hpp"
+#include "obs/export.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -51,6 +56,12 @@ int main(int argc, char** argv) try {
       static_cast<int>(opts.get_int("mpi-poll-period", cfg.combined_mpi_poll_period));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   core::apply_cluster_overrides(cfg.cluster, opts);
+
+  const std::string trace_out = opts.get_string("trace-out", "");
+  const std::string trace_csv = opts.get_string("trace-csv", "");
+  const std::string metrics_out = opts.get_string("metrics-out", "");
+  cfg.obs.trace = !trace_out.empty() || !trace_csv.empty();
+  cfg.obs.metrics = !metrics_out.empty();
 
   const std::string model_name = opts.get_string("model", "phold");
   const pdes::LpMap map = core::Simulation::make_map(cfg);
@@ -100,6 +111,35 @@ int main(int argc, char** argv) try {
     for (std::size_t i = 0; i < r.gvt_trace.size(); ++i)
       std::printf("round %3zu: %.4f\n", i + 1, r.gvt_trace[i]);
   }
+
+  bool export_ok = true;
+  if (!trace_out.empty() && r.trace) {
+    if (obs::write_chrome_trace(*r.trace, trace_out)) {
+      std::printf("trace (Perfetto)    : %s (%zu records, %llu dropped)\n",
+                  trace_out.c_str(), r.trace->records().size(),
+                  static_cast<unsigned long long>(r.trace->dropped()));
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+      export_ok = false;
+    }
+  }
+  if (!trace_csv.empty() && r.trace) {
+    if (obs::write_trace_csv(*r.trace, trace_csv)) {
+      std::printf("trace (CSV)         : %s\n", trace_csv.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", trace_csv.c_str());
+      export_ok = false;
+    }
+  }
+  if (!metrics_out.empty() && r.metrics) {
+    if (obs::write_metrics_csv(r.metrics->snapshot(), metrics_out)) {
+      std::printf("metrics (CSV)       : %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+      export_ok = false;
+    }
+  }
+  if (!export_ok) return 1;
   return r.completed ? 0 : 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

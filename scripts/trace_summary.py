@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize a structured trace CSV (from --trace-csv / obs::write_trace_csv)
+into per-GVT-round time series: round span, mode, barrier wait, rollback and
+message counts, and the computed GVT/efficiency. This is the per-round view
+the time-horizon-roughness literature analyzes.
+
+Usage:
+    build/examples/phold_cluster --gvt=ca-gvt --trace-csv=run.csv
+    python3 scripts/trace_summary.py run.csv > rounds.csv
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def main(path: str) -> None:
+    rounds = defaultdict(
+        lambda: {
+            "begin_ns": None,
+            "end_ns": None,
+            "mode": "",
+            "gvt": "",
+            "efficiency": "",
+            "queue_peak": "",
+            "mode_switch": "",
+            "barrier_wait_ns": 0,
+        }
+    )
+    barrier_enter = {}  # (node, worker, round, label) -> t_ns
+    rollbacks = 0
+    rolled_events = 0
+    sends = 0
+
+    with open(path, newline="", encoding="utf-8") as handle:
+        for rec in csv.DictReader(handle):
+            kind = rec["kind"]
+            t = int(rec["t_ns"])
+            rnd = int(rec["round"])
+            if kind == "round_begin" and rec["node"] == "0":
+                rounds[rnd]["begin_ns"] = t
+                rounds[rnd]["mode"] = rec["label"]
+            elif kind == "round_end" and rec["node"] == "0":
+                rounds[rnd]["end_ns"] = t
+            elif kind == "gvt_computed":
+                rounds[rnd]["gvt"] = rec["a"]
+                rounds[rnd]["efficiency"] = rec["b"]
+                rounds[rnd]["queue_peak"] = rec["u"]
+            elif kind == "mode_switch":
+                rounds[rnd]["mode_switch"] = rec["label"]
+            elif kind == "barrier_enter":
+                barrier_enter[(rec["node"], rec["worker"], rnd, rec["label"])] = t
+            elif kind == "barrier_exit":
+                entered = barrier_enter.pop(
+                    (rec["node"], rec["worker"], rnd, rec["label"]), None
+                )
+                if entered is not None:
+                    rounds[rnd]["barrier_wait_ns"] += t - entered
+            elif kind == "rollback":
+                rollbacks += 1
+                rolled_events += int(rec["value"])
+            elif kind == "mpi_send":
+                sends += 1
+
+    writer = csv.writer(sys.stdout)
+    writer.writerow(
+        [
+            "round",
+            "mode",
+            "span_ns",
+            "barrier_wait_ns",
+            "gvt",
+            "efficiency",
+            "queue_peak",
+            "mode_switch",
+        ]
+    )
+    for rnd in sorted(rounds):
+        row = rounds[rnd]
+        span = (
+            row["end_ns"] - row["begin_ns"]
+            if row["begin_ns"] is not None and row["end_ns"] is not None
+            else ""
+        )
+        writer.writerow(
+            [
+                rnd,
+                row["mode"],
+                span,
+                row["barrier_wait_ns"],
+                row["gvt"],
+                row["efficiency"],
+                row["queue_peak"],
+                row["mode_switch"],
+            ]
+        )
+    print(
+        f"# rollback episodes: {rollbacks} ({rolled_events} events), "
+        f"mpi sends: {sends}",
+        file=sys.stderr,
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "trace.csv")

@@ -15,6 +15,7 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   if (!round_active_) {
     round_active_ = true;  // signals the dedicated MPI thread to join
     round_started_ = node_.engine().now();
+    node_.trace().round_begin(node_.rank(), round_no_ + 1, /*sync=*/true);
   }
   auto& collectives = node_.collectives();
 
@@ -22,6 +23,8 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   // Messages are read (counted) but their rollback processing is deferred
   // past the round, as in ROSS — otherwise cascades would keep the round
   // alive.
+  node_.trace().barrier_enter(node_.rank(), worker.index_in_node, round_no_ + 1,
+                              "transit-count");
   while (true) {
     co_await node_.read_messages_deferred(worker);  // ReadMessages()
     if (agent_inline) {
@@ -36,18 +39,26 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
     }
     if (collectives.last_sum() == 0) break;
   }
+  node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round_no_ + 1,
+                             "transit-count");
 
   // Phase 2: reduce the minimum local virtual position into the GVT.
   // (Round index snapshotted before the barrier: the agent may close the
   // round while adopters are still running at the same timestamp.)
   const std::uint64_t round = round_no_;
   const double local_min = NodeRuntime::worker_min_ts(worker);
+  node_.trace().barrier_enter(node_.rank(), worker.index_in_node, round + 1,
+                              "min-reduce");
   if (agent_inline) {
     co_await collectives.min_agent(local_min);
   } else {
     co_await collectives.min(local_min);
   }
+  node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round + 1,
+                             "min-reduce");
   const double gvt = collectives.last_min();
+  if (agent_inline)
+    node_.trace().gvt_computed(node_.rank(), round + 1, gvt, 0.0, 0);
 
   const std::uint64_t committed = node_.adopt_gvt(worker, gvt, round);
   co_await delay(node_.cfg().cluster.fossil_per_event *
@@ -65,13 +76,17 @@ Process BarrierGvt::agent_tick(WorkerCtx* self) {
   if (!node_.cfg().has_dedicated_mpi() || !round_active_) co_return;
 
   auto& collectives = node_.collectives();
+  node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "transit-count");
   while (true) {
     bool pump = false;
     co_await node_.mpi_progress(&pump);
     co_await collectives.sum_agent(0);  // the MPI thread owns no LPs
     if (collectives.last_sum() == 0) break;
   }
+  node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "transit-count");
+  node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "min-reduce");
   co_await collectives.min_agent(pdes::kVtInfinity);
+  node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "min-reduce");
   close_round();
 }
 

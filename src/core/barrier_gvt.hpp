@@ -54,6 +54,8 @@ class BarrierGvt final : public GvtAlgorithm {
     ++stats_.rounds;
     stats_.round_time_total += node_.engine().now() - round_started_;
     round_active_ = false;
+    node_.trace().round_end(node_.rank(), round_no_);
+    node_.metrics().counter("gvt.rounds").inc();
   }
 };
 

@@ -2,6 +2,12 @@
 
 namespace cagvt::core {
 
+metasim::Process CaGvt::agent_barrier(const char* which) {
+  node_.trace().barrier_enter(node_.rank(), /*worker=*/-1, rounds_started(), which);
+  co_await node_.collectives().barrier_agent();
+  node_.trace().barrier_exit(node_.rank(), /*worker=*/-1, rounds_started(), which);
+}
+
 metasim::Process CaGvt::agent_tick(WorkerCtx* self) {
   // The dedicated MPI thread is a party of the system-wide barriers; join
   // each of the round's three as the round reaches it. (When the agent is
@@ -9,15 +15,15 @@ metasim::Process CaGvt::agent_tick(WorkerCtx* self) {
   // barrier_agent variant, so no stage machine is needed.)
   if (node_.cfg().has_dedicated_mpi() && sync_round_active()) {
     if (agent_stage_ == 0 && phase() != Phase::kIdle) {
-      co_await node_.collectives().barrier_agent();  // before white->red
+      co_await agent_barrier("pre-red");  // before white->red
       agent_stage_ = 1;
     }
     if (agent_stage_ == 1 && phase() == Phase::kCollect) {
-      co_await node_.collectives().barrier_agent();  // before contributions
+      co_await agent_barrier("pre-collect");  // before contributions
       agent_stage_ = 2;
     }
     if (agent_stage_ == 2 && phase() == Phase::kBroadcast) {
-      co_await node_.collectives().barrier_agent();  // after fossil collection
+      co_await agent_barrier("post-fossil");  // after fossil collection
       agent_stage_ = 3;
     }
   }

@@ -42,6 +42,10 @@ class CaGvt final : public MatternGvt {
   }
 
  private:
+  /// Dedicated MPI thread's side of one conditional barrier, traced with
+  /// worker = -1 (the agent track).
+  metasim::Process agent_barrier(const char* which);
+
   /// Which of the round's three barriers the dedicated MPI thread has
   /// already joined (combined placement joins inline as a worker instead).
   int agent_stage_ = 0;

@@ -2,6 +2,7 @@
 // thread placement, and engine knobs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -27,8 +28,24 @@ enum class MpiPlacement {
                 // (the threaded-MPI contention ablation, cf. [2])
 };
 
+/// Observability (src/obs): measurement-only instrumentation that never
+/// consumes simulated time or perturbs results. Both facilities default
+/// off; when off every hook is a predictable branch. Surfaced on the CLIs
+/// as --trace-out= / --metrics-out=.
+struct ObsConfig {
+  /// Record the structured trace (GVT round lifecycle, CA-GVT mode
+  /// switches, rollbacks, fossil collections, vmpi traffic) for export as
+  /// Chrome trace-event JSON (Perfetto) or CSV.
+  bool trace = false;
+  /// Maintain the metrics registry (counters/gauges/histograms).
+  bool metrics = false;
+  /// Trace records kept before further ones are counted as dropped.
+  std::size_t trace_capacity = 1u << 22;
+};
+
 struct SimulationConfig {
   net::ClusterSpec cluster;  // hardware cost model
+  ObsConfig obs;             // tracing / metrics (off by default)
 
   int nodes = 8;
   /// Hardware threads loaded per node (paper: 60). With kDedicated one of

@@ -25,6 +25,7 @@ void MatternGvt::begin_round() {
   collect_forwarded_ = false;
   adopted_count_ = 0;
   sync_round_active_ = sync_flag_;
+  node_.trace().round_begin(node_.rank(), round_, sync_round_active_);
 }
 
 void MatternGvt::finish_round() {
@@ -33,6 +34,9 @@ void MatternGvt::finish_round() {
   ++stats_.rounds;
   if (sync_round_active_) ++stats_.sync_rounds;
   stats_.round_time_total += node_.engine().now() - round_started_;
+  node_.trace().round_end(node_.rank(), round_);
+  node_.metrics().counter("gvt.rounds").inc();
+  if (sync_round_active_) node_.metrics().counter("gvt.sync_rounds").inc();
 }
 
 void MatternGvt::fold_node_into(MatternToken& token) {
@@ -49,9 +53,14 @@ void MatternGvt::apply_broadcast(const MatternToken& token) {
   gvt_value_ = token.gvt;
   pending_sync_ = token.sync_next_round;
   phase_ = Phase::kBroadcast;
+  node_.trace().phase_change(node_.rank(), round_, "broadcast");
 }
 
 Process MatternGvt::send_token(MatternToken token) {
+  node_.trace().ring_leg(node_.rank(), token.round,
+                         (node_.rank() + 1) % node_.fabric().nranks(),
+                         token.phase == MatternToken::Phase::kCollect ? "collect"
+                                                                      : "broadcast");
   co_await node_.fabric().ring_send(node_.rank(), node_.cfg().cluster.control_msg_bytes,
                                     NetMsg{token});
 }
@@ -71,6 +80,15 @@ Process MatternGvt::complete_collect(MatternToken token) {
     last_efficiency_ = kAlpha * window + (1.0 - kAlpha) * last_efficiency_;
   }
   token.sync_next_round = want_sync(last_efficiency_, token.queue_peak);
+  node_.trace().gvt_computed(node_.rank(), token.round, token.gvt, last_efficiency_,
+                             token.queue_peak);
+  if (token.sync_next_round != sync_round_active_) {
+    // CA-GVT flips mode for the next round; the smoothed efficiency and the
+    // round's queue peak are exactly the measurements that triggered it.
+    node_.trace().mode_switch(node_.rank(), token.round, token.sync_next_round,
+                              last_efficiency_, token.queue_peak);
+    node_.metrics().counter("gvt.mode_switches").inc();
+  }
   CAGVT_LOG_DEBUG("gvt round %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu sync_next=%d",
                   static_cast<unsigned long long>(token.round), token.gvt, last_efficiency_,
                   static_cast<unsigned long long>(token.queue_peak),
@@ -81,12 +99,14 @@ Process MatternGvt::complete_collect(MatternToken token) {
   if (node_.fabric().nranks() > 1) co_await send_token(token);
 }
 
-Process MatternGvt::sys_barrier(bool agent_side) {
+Process MatternGvt::sys_barrier(bool agent_side, int worker, const char* which) {
+  node_.trace().barrier_enter(node_.rank(), worker, round_, which);
   if (agent_side) {
     co_await node_.collectives().barrier_agent();
   } else {
     co_await node_.collectives().barrier();
   }
+  node_.trace().barrier_exit(node_.rank(), worker, round_, which);
 }
 
 Process MatternGvt::worker_tick(WorkerCtx& worker) {
@@ -99,9 +119,11 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
     if (phase_ == Phase::kIdle && worker.gvt.iters_since_round >= cfg.gvt_interval)
       begin_round();
     if (phase_ == Phase::kRed) {
-      if (sync_round_active_) co_await sys_barrier(agent_inline);
+      if (sync_round_active_)
+        co_await sys_barrier(agent_inline, worker.index_in_node, "pre-red");
       co_await cm_mutex_.lock();
       worker.gvt.color = pdes::Color::kRed;
+      node_.trace().white_red(node_.rank(), worker.index_in_node, round_);
       worker.gvt.min_red = pdes::kVtInfinity;
       worker.gvt.contributed = false;
       worker.gvt.adopted = false;
@@ -121,7 +143,8 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
   // Alg. 3 adds the second barrier and the efficiency bookkeeping cost). ----
   if (phase_ == Phase::kCollect && worker.gvt.color == pdes::Color::kRed &&
       !worker.gvt.contributed) {
-    if (sync_round_active_) co_await sys_barrier(agent_inline);
+    if (sync_round_active_)
+      co_await sys_barrier(agent_inline, worker.index_in_node, "pre-collect");
     if (contribute_overhead() > 0) co_await delay(contribute_overhead());
     co_await cm_mutex_.lock();
     node_min_lvt_ = std::min(node_min_lvt_, NodeRuntime::worker_min_ts(worker));
@@ -152,7 +175,8 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
     co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
     worker.gvt.color = pdes::Color::kWhite;
     worker.gvt.iters_since_round = 0;
-    if (sync_round_active_) co_await sys_barrier(agent_inline);
+    if (sync_round_active_)
+      co_await sys_barrier(agent_inline, worker.index_in_node, "post-fossil");
     if (++adopted_count_ == cfg.workers_per_node()) finish_round();
     // Deliver messages buffered while processing was quiesced (ordered
     // before anything the next loop iteration drains).
@@ -181,6 +205,7 @@ Process MatternGvt::agent_tick(WorkerCtx* self) {
     }
     counting_done_ = true;
     phase_ = Phase::kCollect;
+    node_.trace().phase_change(node_.rank(), round_, "collect");
   }
 
   // Originate the Collect circulation at rank 0 once every local thread

@@ -106,7 +106,10 @@ class MatternGvt : public GvtAlgorithm {
   void apply_broadcast(const MatternToken& token);
   metasim::Process complete_collect(MatternToken token);  // at rank 0
   metasim::Process send_token(MatternToken token);
-  metasim::Process sys_barrier(bool agent_side);
+  /// `which` names the CA barrier point for the trace ("pre-red",
+  /// "pre-collect", "post-fossil"); `worker` indexes the arriving thread
+  /// (-1 for a dedicated MPI agent).
+  metasim::Process sys_barrier(bool agent_side, int worker, const char* which);
 
   // Per-node shared control structure (the paper's node-level CM), guarded
   // by a contended lock like the real shared-memory structure would be.

@@ -50,7 +50,8 @@ Process NodeCollectives::barrier_agent() {
 
 NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
                          const pdes::LpMap& map, const pdes::Model& model, int node_id,
-                         ClusterProfiler& profiler)
+                         ClusterProfiler& profiler, obs::TraceRecorder& trace,
+                         obs::MetricsRegistry& metrics)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
@@ -58,6 +59,10 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       model_(model),
       node_id_(node_id),
       profiler_(profiler),
+      trace_(trace),
+      metrics_(metrics),
+      regional_msgs_metric_(metrics.counter("net.regional_msgs")),
+      remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
       mpi_lock_(engine, cfg.cluster.lock_acquire, cfg.cluster.lock_handoff),
       collectives_(engine, fabric, node_id,
@@ -68,6 +73,8 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
     const bool duty = !cfg.has_dedicated_mpi() && w == 0;
     workers_.push_back(std::make_unique<WorkerCtx>(*this, engine, cfg.cluster, model, map,
                                                    map.global_worker(node_id, w), kcfg, duty));
+    workers_.back()->kernel.set_observability(
+        &trace_, metrics_.histogram("kernel.rollback_depth", 0, 64, 16), node_id, w);
   }
 }
 
@@ -168,10 +175,12 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
                        : base);
     if (shared_inbox) mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
+      trace_.mpi_recv(node_id_, -1, "event");
       WorkerCtx& dest =
           *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
       co_await deliver_to_worker(dest, *event);
     } else {
+      trace_.mpi_recv(node_id_, -1, "control");
       gvt_->on_token(std::get<MatternToken>(*msg));
     }
     *did_work = true;
@@ -201,6 +210,7 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
                                         spec.threaded_mpi_penalty));
     mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
+      trace_.mpi_recv(node_id_, worker.index_in_node, "event");
       // Always route through the destination's remote inbox — even for this
       // worker's own LPs. Depositing directly could overtake another
       // worker's still-in-flight delivery of an EARLIER message for the
@@ -210,6 +220,7 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
           *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
       co_await deliver_to_worker(dest, *event);
     } else {
+      trace_.mpi_recv(node_id_, worker.index_in_node, "control");
       gvt_->on_token(std::get<MatternToken>(*msg));
     }
     *did_work = true;
@@ -294,6 +305,7 @@ Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
   const int dest_node = map_.node_of(event.dst_lp);
   if (dest_node == node_id_) {
     ++regional_msgs_;
+    regional_msgs_metric_.inc();
     WorkerCtx& dest = *workers_[static_cast<std::size_t>(map_.worker_in_node(event.dst_lp))];
     CAGVT_ASSERT(&dest != &worker);  // same-thread events never reach here
     co_await dest.regional_in.mutex.lock();
@@ -305,6 +317,7 @@ Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
   }
 
   ++remote_msgs_;
+  remote_msgs_metric_.inc();
   if (cfg_.mpi == MpiPlacement::kEverywhere) {
     // Threaded MPI: every worker calls into the MPI library itself,
     // serialized by the node-wide lock and paying the multi-threaded

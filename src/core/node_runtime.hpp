@@ -21,6 +21,8 @@
 #include "metasim/process.hpp"
 #include "metasim/sync.hpp"
 #include "net/vmpi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdes/kernel.hpp"
 #include "util/stats.hpp"
 
@@ -169,7 +171,8 @@ class NodeRuntime {
  public:
   NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
               const pdes::LpMap& map, const pdes::Model& model, int node_id,
-              ClusterProfiler& profiler);
+              ClusterProfiler& profiler, obs::TraceRecorder& trace,
+              obs::MetricsRegistry& metrics);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -184,6 +187,10 @@ class NodeRuntime {
   std::vector<std::unique_ptr<WorkerCtx>>& workers() { return workers_; }
   ClusterProfiler& profiler() { return profiler_; }
   GvtAlgorithm& gvt() { return *gvt_; }
+  /// Trace recorder / metrics registry for the GVT algorithms' hooks
+  /// (always valid objects; disabled instances ignore every call).
+  obs::TraceRecorder& trace() { return trace_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// A worker adopts a freshly computed GVT: fossil-collect, record the
   /// profiler samples, stop the node once the horizon is passed. Returns
@@ -248,6 +255,10 @@ class NodeRuntime {
   const pdes::Model& model_;
   int node_id_;
   ClusterProfiler& profiler_;
+  obs::TraceRecorder& trace_;
+  obs::MetricsRegistry& metrics_;
+  obs::CounterHandle regional_msgs_metric_;
+  obs::CounterHandle remote_msgs_metric_;
 
   std::vector<std::unique_ptr<WorkerCtx>> workers_;
   SharedQueue mpi_outbox_;

@@ -18,11 +18,20 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   Fabric fabric(engine, cfg_.cluster, cfg_.nodes);
   ClusterProfiler profiler;
 
+  // Observability is measurement-only: the recorder stamps records with the
+  // engine clock but charges no simulated time, so traced and untraced runs
+  // are bit-identical in every simulation result.
+  auto trace =
+      std::make_shared<obs::TraceRecorder>(cfg_.obs.trace, cfg_.obs.trace_capacity);
+  auto metrics = std::make_shared<obs::MetricsRegistry>(cfg_.obs.metrics);
+  trace->set_clock([&engine] { return engine.now(); });
+  fabric.set_trace(trace.get());
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, model_, n,
-                                                  profiler));
+                                                  profiler, *trace, *metrics));
   }
   for (auto& node : nodes) node->start();
 
@@ -65,6 +74,26 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.last_global_efficiency = mattern->last_global_efficiency();
   result.gvt_trace = profiler.gvt_trace();
   result.net_frames = fabric.network().frames_sent();
+
+  // Detach the engine-bound clock (the engine dies with this frame) and
+  // mirror the headline results into the registry so a single metrics CSV
+  // carries both the live-run counters and the end-of-run aggregates.
+  trace->set_clock(nullptr);
+  if (metrics->enabled()) {
+    metrics->gauge("run.committed").set(static_cast<double>(result.events.committed));
+    metrics->gauge("run.processed").set(static_cast<double>(result.events.processed));
+    metrics->gauge("run.rolled_back").set(static_cast<double>(result.events.rolled_back));
+    metrics->gauge("run.efficiency").set(result.efficiency);
+    metrics->gauge("run.committed_rate").set(result.committed_rate);
+    metrics->gauge("run.wall_seconds").set(result.wall_seconds);
+    metrics->gauge("run.final_gvt").set(result.final_gvt);
+    metrics->gauge("run.lvt_disparity").set(result.avg_lvt_disparity);
+    metrics->gauge("run.gvt_block_seconds").set(result.gvt_block_seconds);
+    metrics->gauge("run.lock_wait_seconds").set(result.lock_wait_seconds);
+    metrics->gauge("run.completed").set(result.completed ? 1 : 0);
+  }
+  if (cfg_.obs.trace) result.trace = trace;
+  if (cfg_.obs.metrics) result.metrics = metrics;
   return result;
 }
 

@@ -11,9 +11,12 @@
 // node), executes it to completion, and aggregates the paper's metrics.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdes/mapping.hpp"
 #include "pdes/model.hpp"
 #include "pdes/stats.hpp"
@@ -57,6 +60,13 @@ struct SimulationResult {
 
   /// False if the safety wall-clock cap expired before GVT passed end_vt.
   bool completed = false;
+
+  /// The run's structured trace, populated when cfg.obs.trace was set
+  /// (null otherwise). Export with obs::write_chrome_trace / write_trace_csv.
+  std::shared_ptr<const obs::TraceRecorder> trace;
+  /// The run's metrics registry, populated when cfg.obs.metrics was set
+  /// (null otherwise). Export a snapshot with obs::write_metrics_csv.
+  std::shared_ptr<const obs::MetricsRegistry> metrics;
 };
 
 class Simulation {

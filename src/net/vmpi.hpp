@@ -27,6 +27,7 @@
 #include "metasim/process.hpp"
 #include "metasim/sync.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace cagvt::net {
 
@@ -55,9 +56,14 @@ class Fabric {
 
   int nranks() const { return nranks_; }
 
+  /// Measurement-only trace of isend calls (see obs/trace.hpp); receives
+  /// are recorded by whoever drains the inbox and charges the recv cost.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   /// Non-blocking send: charges the sender's per-message CPU cost, then
   /// puts the message on the wire. co_await from the sending MPI thread.
   metasim::Process isend(int src, int dst, int bytes, Payload payload) {
+    if (trace_ != nullptr) trace_->mpi_send(src, dst, bytes, "event");
     co_await metasim::delay(spec_.mpi_send_cpu);
     network_.transmit(src, dst, bytes, std::move(payload));
   }
@@ -65,6 +71,7 @@ class Fabric {
   /// Control-plane send (GVT tokens): small eager message at priority
   /// service cost.
   metasim::Process isend_control(int src, int dst, int bytes, Payload payload) {
+    if (trace_ != nullptr) trace_->mpi_send(src, dst, bytes, "control");
     co_await metasim::delay(spec_.control_send_cpu);
     network_.transmit(src, dst, bytes, std::move(payload));
   }
@@ -105,6 +112,7 @@ class Fabric {
 
   metasim::Engine& engine_;
   const ClusterSpec& spec_;
+  obs::TraceRecorder* trace_ = nullptr;
   int nranks_;
   Network<Payload> network_;
   std::vector<std::unique_ptr<metasim::Channel<Payload>>> inboxes_;

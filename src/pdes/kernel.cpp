@@ -1,6 +1,7 @@
 #include "pdes/kernel.hpp"
 
 #include <bit>
+#include <cmath>
 #include <utility>
 
 namespace cagvt::pdes {
@@ -128,7 +129,9 @@ void ThreadKernel::apply_positive(const Event& event, Outcome& out) {
     ++stats_.stragglers;
     ++stats_.primary_rollbacks;
     ++stats_.rollback_episodes;
+    const int undone_before = out.rolled_back;
     rollback(lp, key_of(event), /*annihilate_target=*/false, out);
+    note_rollback(event.dst_lp, out.rolled_back - undone_before, "straggler");
     out.was_straggler = true;
   }
   pending_.push(event);
@@ -148,7 +151,9 @@ void ThreadKernel::apply_anti(const Event& event, Outcome& out) {
     // it. Transport FIFO guarantees the twin did arrive before this anti.
     ++stats_.secondary_rollbacks;
     ++stats_.rollback_episodes;
+    const int undone_before = out.rolled_back;
     rollback(lp, key_of(event), /*annihilate_target=*/true, out);
+    note_rollback(event.dst_lp, out.rolled_back - undone_before, "anti");
     out.annihilated = true;
     return;
   }
@@ -202,6 +207,12 @@ void ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Out
   }
 }
 
+void ThreadKernel::note_rollback(LpId lp, int depth, const char* cause) {
+  rollback_depth_.observe(static_cast<double>(depth));
+  if (trace_ != nullptr)
+    trace_->rollback(obs_node_, obs_worker_, static_cast<std::uint64_t>(lp), depth, cause);
+}
+
 std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
   CAGVT_CHECK_MSG(gvt >= last_fossil_gvt_, "GVT went backwards");
   last_fossil_gvt_ = gvt;
@@ -215,6 +226,11 @@ std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
     }
   }
   stats_.committed += newly_committed;
+  // final_commit()'s infinite horizon is excluded: it runs outside the
+  // simulation and an inf timestamp would not serialize as JSON.
+  if (trace_ != nullptr && std::isfinite(gvt))
+    trace_->fossil(obs_node_, obs_worker_, gvt,
+                   static_cast<std::int64_t>(newly_committed));
   return newly_committed;
 }
 

@@ -23,6 +23,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdes/event.hpp"
 #include "pdes/mapping.hpp"
 #include "pdes/model.hpp"
@@ -76,6 +78,19 @@ class ThreadKernel {
 
   /// Commit everything left (call after GVT has passed end_vt).
   std::uint64_t final_commit() { return fossil_collect(kVtInfinity); }
+
+  /// Attach measurement-only observability: `trace` (may be null) receives
+  /// rollback episodes (LP, depth, cause) and fossil collections;
+  /// `rollback_depth` sees each episode's depth. Neither affects the
+  /// kernel's logic — hooks are single branches when instrumentation is
+  /// disabled.
+  void set_observability(obs::TraceRecorder* trace, obs::HistogramHandle rollback_depth,
+                         int node, int worker_in_node) {
+    trace_ = trace;
+    rollback_depth_ = rollback_depth;
+    obs_node_ = node;
+    obs_worker_ = worker_in_node;
+  }
 
   const KernelStats& stats() const { return stats_; }
   /// Order-independent fingerprint of all committed events; equal runs
@@ -134,6 +149,7 @@ class ThreadKernel {
   void rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out);
   void drain_queue(Outcome& out);
   void route_or_queue(const Event& event, Outcome& out);
+  void note_rollback(LpId lp, int depth, const char* cause);
 
   const Model& model_;
   LpMap map_;
@@ -148,6 +164,11 @@ class ThreadKernel {
   KernelStats stats_;
   std::uint64_t committed_fingerprint_ = 0;
   std::size_t live_history_ = 0;  // total uncommitted records across LPs
+
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::HistogramHandle rollback_depth_;
+  int obs_node_ = -1;
+  int obs_worker_ = -1;
 };
 
 }  // namespace cagvt::pdes

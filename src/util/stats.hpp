@@ -51,8 +51,10 @@ class RunningStat {
 /// edge buckets. Used for rollback-length and message-latency profiles.
 class Histogram {
  public:
+  /// `buckets == 0` is clamped to one bucket: bucket_of computes
+  /// `counts_.size() - 1`, which would underflow on an empty vector.
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+      : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
 
   void add(double x) {
     const auto b = bucket_of(x);

@@ -1,0 +1,117 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cagvt::obs {
+namespace {
+
+TEST(MetricsRegistryTest, DisabledReturnsNullHandles) {
+  MetricsRegistry reg(false);
+  CounterHandle c = reg.counter("a");
+  GaugeHandle g = reg.gauge("b");
+  HistogramHandle h = reg.histogram("c", 0, 10, 4);
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  // Every operation on a null handle is a safe no-op.
+  c.inc();
+  g.set(3.0);
+  g.max_of(7.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.get(), nullptr);
+  EXPECT_TRUE(reg.snapshot().values.empty());
+}
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  MetricsRegistry reg(true);
+  CounterHandle c = reg.counter("events");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.snapshot().value("events"), 42.0);
+}
+
+TEST(MetricsRegistryTest, SameNameSharesOneSlot) {
+  MetricsRegistry reg(true);
+  CounterHandle a = reg.counter("shared");
+  CounterHandle b = reg.counter("shared");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndMaxOf) {
+  MetricsRegistry reg(true);
+  GaugeHandle g = reg.gauge("queue.peak");
+  g.set(4.0);
+  g.max_of(2.0);  // smaller: no effect
+  EXPECT_EQ(g.value(), 4.0);
+  g.max_of(9.0);
+  EXPECT_EQ(g.value(), 9.0);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchThrows) {
+  MetricsRegistry reg(true);
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", 0, 1, 2), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, HistogramExpandsInSnapshot) {
+  MetricsRegistry reg(true);
+  HistogramHandle h = reg.histogram("depth", 0, 8, 4);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);  // clamps into the last bucket
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("depth.count"), 3.0);
+  EXPECT_NEAR(snap.value("depth.mean"), 104.0 / 3.0, 1e-12);
+  EXPECT_EQ(snap.value("depth.min"), 1.0);
+  EXPECT_EQ(snap.value("depth.max"), 100.0);
+  EXPECT_EQ(snap.value("depth.bucket0"), 1.0);
+  EXPECT_EQ(snap.value("depth.bucket1"), 1.0);
+  EXPECT_EQ(snap.value("depth.bucket3"), 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameOrdered) {
+  MetricsRegistry reg(true);
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.gauge("mid");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.values.size(), 3u);
+  auto it = snap.values.begin();
+  EXPECT_EQ(it->first, "alpha");
+  EXPECT_EQ((++it)->first, "mid");
+  EXPECT_EQ((++it)->first, "zeta");
+}
+
+TEST(MetricsRegistryTest, DiffSubtractsAndKeepsNewNames) {
+  MetricsRegistry reg(true);
+  CounterHandle c = reg.counter("events");
+  c.inc(10);
+  const MetricsSnapshot before = reg.snapshot();
+  c.inc(5);
+  reg.gauge("late").set(2.5);  // registered after `before`
+  const MetricsSnapshot after = reg.snapshot();
+  const MetricsSnapshot d = diff(after, before);
+  EXPECT_EQ(d.value("events"), 5.0);
+  EXPECT_EQ(d.value("late"), 2.5);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg(true);
+  reg.counter("events").inc(3);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().values.empty());
+  // Fresh registration starts from zero.
+  EXPECT_EQ(reg.counter("events").value(), 0u);
+}
+
+}  // namespace
+}  // namespace cagvt::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "obs/export.hpp"
+
+namespace cagvt::obs {
+namespace {
+
+// Minimal structural JSON validator: tracks bracket/brace nesting and
+// string/escape state. Enough to catch unbalanced output, a stray `inf`,
+// or an unescaped quote — full parsing is the CI smoke test's job.
+bool json_well_formed(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      // Bare tokens outside strings may only form numbers / true / false /
+      // null — the letters of `inf` or `nan` are not among them.
+      case 'i': case 'I': case 'N': return false;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceRecorderTest, DisabledIgnoresEmits) {
+  TraceRecorder rec(false);
+  rec.round_begin(0, 1, false);
+  rec.rollback(0, 1, 7, 3, "straggler");
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, SequenceNumbersAndClockStamping) {
+  TraceRecorder rec(true);
+  std::int64_t now = 1000;
+  rec.set_clock([&now] { return now; });
+  rec.round_begin(0, 1, true);
+  now = 2500;
+  rec.white_red(0, 3, 1);
+  ASSERT_EQ(rec.records().size(), 2u);
+  EXPECT_EQ(rec.records()[0].seq, 0u);
+  EXPECT_EQ(rec.records()[0].t, 1000);
+  EXPECT_EQ(rec.records()[0].kind, RecordKind::kRoundBegin);
+  EXPECT_STREQ(rec.records()[0].label, "sync");
+  EXPECT_EQ(rec.records()[1].seq, 1u);
+  EXPECT_EQ(rec.records()[1].t, 2500);
+  EXPECT_EQ(rec.records()[1].worker, 3);
+}
+
+TEST(TraceRecorderTest, CapacityDropsInsteadOfGrowing) {
+  TraceRecorder rec(true, /*capacity=*/2);
+  rec.mpi_recv(0, -1, "event");
+  rec.mpi_recv(0, -1, "event");
+  rec.mpi_recv(0, -1, "event");
+  EXPECT_EQ(rec.records().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  rec.reset();
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.mpi_recv(0, -1, "event");
+  EXPECT_EQ(rec.records()[0].seq, 0u);  // sequence restarts after reset
+}
+
+TEST(TraceRecorderTest, TypedPayloadFields) {
+  TraceRecorder rec(true);
+  rec.mode_switch(0, 9, true, 0.64, 17);
+  rec.rollback(1, 2, 33, 5, "anti");
+  rec.mpi_send(0, 3, 96, "control");
+  const auto& r = rec.records();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].kind, RecordKind::kModeSwitch);
+  EXPECT_EQ(r[0].round, 9u);
+  EXPECT_DOUBLE_EQ(r[0].a, 0.64);
+  EXPECT_EQ(r[0].u, 17u);
+  EXPECT_STREQ(r[0].label, "to-sync");
+  EXPECT_EQ(r[1].u, 33u);
+  EXPECT_EQ(r[1].value, 5);
+  EXPECT_STREQ(r[1].label, "anti");
+  EXPECT_EQ(r[2].u, 3u);
+  EXPECT_EQ(r[2].value, 96);
+}
+
+TEST(TraceExportTest, ChromeJsonWellFormed) {
+  TraceRecorder rec(true);
+  std::int64_t now = 0;
+  rec.set_clock([&now] { return now += 1234; });
+  rec.round_begin(0, 1, true);
+  rec.barrier_enter(0, 2, 1, "pre-red");
+  rec.barrier_exit(0, 2, 1, "pre-red");
+  rec.gvt_computed(0, 1, 12.5, 0.83, 4);
+  rec.mode_switch(0, 1, false, 0.83, 4);
+  rec.rollback(0, 1, 7, 3, "straggler");
+  rec.fossil(0, 1, 12.5, 240);
+  rec.round_end(0, 1);
+  const std::string json = to_chrome_trace_json(rec);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"mode_switch:to-async\""), std::string::npos);
+  EXPECT_NE(json.find("\"barrier:pre-red\""), std::string::npos);
+}
+
+TEST(TraceExportTest, CsvHasOneRowPerRecord) {
+  TraceRecorder rec(true);
+  rec.round_begin(0, 1, false);
+  rec.round_end(0, 1);
+  const std::string csv = to_trace_csv(rec);
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);  // header + 2 records
+  EXPECT_EQ(csv.rfind("seq,t_ns,kind,", 0), 0u);
+}
+
+// End-to-end determinism: the same seed must serialize to byte-identical
+// trace files (the repo's reproducibility contract extends to the traces).
+TEST(TraceExportTest, SameSeedProducesIdenticalTrace) {
+  core::SimulationConfig cfg = core::scaled_config(2, 0.5);
+  cfg.end_vt = 10.0;
+  cfg.gvt = core::GvtKind::kControlledAsync;
+  cfg.obs.trace = true;
+
+  const core::SimulationResult a = core::run_phold(cfg, core::Workload::communication());
+  const core::SimulationResult b = core::run_phold(cfg, core::Workload::communication());
+  ASSERT_TRUE(a.trace && b.trace);
+  EXPECT_FALSE(a.trace->records().empty());
+  EXPECT_EQ(to_chrome_trace_json(*a.trace), to_chrome_trace_json(*b.trace));
+  EXPECT_EQ(to_trace_csv(*a.trace), to_trace_csv(*b.trace));
+  EXPECT_TRUE(json_well_formed(to_chrome_trace_json(*a.trace)));
+}
+
+// A Barrier GVT run exercises the other round-lifecycle paths; its export
+// must stay structurally valid too (includes `fossil` records whose GVT is
+// finite only — the final infinite collection is never serialized).
+TEST(TraceExportTest, BarrierRunExportsWellFormed) {
+  core::SimulationConfig cfg = core::scaled_config(2, 0.5);
+  cfg.end_vt = 10.0;
+  cfg.gvt = core::GvtKind::kBarrier;
+  cfg.obs.trace = true;
+  const core::SimulationResult r = core::run_phold(cfg, core::Workload::computation());
+  ASSERT_TRUE(r.trace);
+  const std::string json = to_chrome_trace_json(*r.trace);
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"barrier:transit-count\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cagvt::obs

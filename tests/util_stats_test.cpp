@@ -54,6 +54,18 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_EQ(h.stat().count(), 5u);
 }
 
+TEST(HistogramTest, ZeroBucketsClampsToOne) {
+  // bucket_of computes counts_.size() - 1; an empty bucket vector would
+  // underflow, so the constructor guarantees at least one bucket.
+  Histogram h(0.0, 10.0, 0);
+  EXPECT_EQ(h.buckets(), 1u);
+  h.add(-5.0);
+  h.add(3.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_EQ(h.stat().count(), 3u);
+}
+
 TEST(FormatTest, Fixed) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_fixed(-1.0, 0), "-1");
