@@ -6,14 +6,18 @@
 //
 //   ./build/examples/adaptive_demo [--nodes=8] [--threshold=0.8]
 //                                  [--trace-out=ca.json] [--metrics-out=ca.csv]
+//                                  [--fault 'straggler:node=1,slow=3x']
 //
 // --trace-out writes the CA-GVT run's structured trace as Chrome
 // trace-event JSON (open in ui.perfetto.dev); --metrics-out writes the
-// run's metrics snapshot as CSV.
+// run's metrics snapshot as CSV. --fault/--fault-seed perturb the cluster
+// (see src/fault/fault_parse.hpp) — handy for watching CA-GVT fall back to
+// synchronous rounds when a straggler drags efficiency below threshold.
 #include <cstdio>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "fault/fault_parse.hpp"
 #include "obs/export.hpp"
 #include "util/config.hpp"
 
@@ -31,9 +35,12 @@ int main(int argc, char** argv) {
   cfg.ca_efficiency_threshold = threshold;
   cfg.obs.trace = !trace_out.empty();
   cfg.obs.metrics = !metrics_out.empty();
+  core::apply_fault_options(cfg, opts);
 
   std::printf("Mixed 10-15 PHOLD model on %d nodes (CA threshold %.0f%%)\n", nodes,
               threshold * 100);
+  for (const auto& spec : cfg.faults)
+    std::printf("fault: %s\n", fault::describe(spec).c_str());
   std::printf("phases: 10%% of the run computation-dominated, 15%% communication-"
               "dominated, repeating\n\n");
 

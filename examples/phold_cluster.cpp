@@ -18,6 +18,12 @@
 //   --model NAME       phold | mixed-phold | imbalanced-phold (phold)
 //   model parameters   --remote --regional --epg --mean-delay
 //                      --x --y (mixed), --hot-fraction --hot-factor
+//   --fault SCHED      fault-injection schedule (';'-separated specs), e.g.
+//                        --fault 'straggler:node=3,t=2ms..6ms,slow=4x'
+//                        --fault 'link:src=0,dst=1,latency=4x,jitter=2us'
+//                        --fault 'mpistall:node=2,t=1ms..,stall=200us,period=1ms'
+//                      see src/fault/fault_parse.hpp for the full DSL
+//   --fault-seed N     seed for the perturbation RNG streams
 //   --trace            print the GVT trace
 //   --trace-out FILE   write a Chrome trace-event JSON (Perfetto) trace
 //   --trace-csv FILE   write the structured trace as CSV
@@ -29,6 +35,7 @@
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
+#include "fault/fault_parse.hpp"
 #include "models/registry.hpp"
 #include "obs/export.hpp"
 #include "util/config.hpp"
@@ -56,6 +63,7 @@ int main(int argc, char** argv) try {
       static_cast<int>(opts.get_int("mpi-poll-period", cfg.combined_mpi_poll_period));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   core::apply_cluster_overrides(cfg.cluster, opts);
+  core::apply_fault_options(cfg, opts);
 
   const std::string trace_out = opts.get_string("trace-out", "");
   const std::string trace_csv = opts.get_string("trace-csv", "");
@@ -77,6 +85,8 @@ int main(int argc, char** argv) try {
   std::printf("run     : model=%s gvt=%s interval=%d end_vt=%.1f seed=%llu\n",
               model_name.c_str(), std::string(to_string(cfg.gvt)).c_str(), cfg.gvt_interval,
               cfg.end_vt, static_cast<unsigned long long>(cfg.seed));
+  for (const auto& spec : cfg.faults)
+    std::printf("fault   : %s\n", fault::describe(spec).c_str());
 
   core::Simulation sim(cfg, *model);
   const core::SimulationResult r = sim.run();
@@ -104,6 +114,10 @@ int main(int argc, char** argv) try {
   std::printf("GVT block time      : %.4f thread-seconds\n", r.gvt_block_seconds);
   std::printf("lock wait time      : %.4f thread-seconds\n", r.lock_wait_seconds);
   std::printf("LVT disparity       : %.4f (avg per-round stddev)\n", r.avg_lvt_disparity);
+  if (!cfg.faults.empty())
+    std::printf("fault activations   : %llu (%llu jitter draws)\n",
+                static_cast<unsigned long long>(r.fault_activations),
+                static_cast<unsigned long long>(r.fault_jitter_draws));
   std::printf("final GVT           : %.3f%s\n", r.final_gvt, r.completed ? "" : "  [INCOMPLETE]");
 
   if (trace) {

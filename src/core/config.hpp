@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "fault/fault_spec.hpp"
 #include "net/cluster_spec.hpp"
 #include "pdes/event.hpp"
 
@@ -68,6 +70,16 @@ struct SimulationConfig {
   std::uint64_t seed = 1;
   /// Max events a worker processes per loop iteration.
   int batch = 4;
+
+  /// Fault-injection schedule (src/fault). Empty = healthy cluster, and the
+  /// run is bit-identical to a build without the subsystem: the FaultEngine
+  /// is only instantiated when at least one spec is present. Parsed from
+  /// --fault on the CLIs (see fault/fault_parse.hpp for the DSL).
+  std::vector<fault::FaultSpec> faults;
+  /// Seed for the perturbation RNG streams (link jitter). Deliberately
+  /// separate from `seed` so the same workload can be replayed under
+  /// different perturbation draws.
+  std::uint64_t fault_seed = 0x5eedfau;
   /// Combined placement: the MPI-duty worker services the network only
   /// every this many loop iterations (event processing starves MPI
   /// progress — the effect that motivates the dedicated thread).
@@ -90,6 +102,15 @@ struct SimulationConfig {
     if (!(end_vt > 0)) throw std::invalid_argument("end_vt must be > 0");
     if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      faults[i].validate(i);
+      if (faults[i].node >= nodes)
+        throw std::invalid_argument("fault spec #" + std::to_string(i + 1) +
+                                    ": node out of range for this cluster");
+      if (faults[i].src >= nodes || faults[i].dst >= nodes)
+        throw std::invalid_argument("fault spec #" + std::to_string(i + 1) +
+                                    ": link endpoint out of range for this cluster");
+    }
   }
 };
 

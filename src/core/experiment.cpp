@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "fault/fault_parse.hpp"
 #include "util/config.hpp"
 #include "util/stats.hpp"
 
@@ -20,6 +21,14 @@ void apply_cluster_overrides(net::ClusterSpec& spec, const Options& options) {
   spec.ca_round_overhead = options.get_int("ca-overhead", spec.ca_round_overhead);
   spec.shm_copy = options.get_int("shm-copy", spec.shm_copy);
   spec.lock_handoff = options.get_int("lock-handoff", spec.lock_handoff);
+}
+
+void apply_fault_options(SimulationConfig& cfg, const Options& options) {
+  const std::string schedule = options.get_string("fault", "");
+  if (!schedule.empty()) cfg.faults = fault::parse_fault_schedule(schedule);
+  cfg.fault_seed =
+      static_cast<std::uint64_t>(options.get_int("fault-seed",
+                                                 static_cast<std::int64_t>(cfg.fault_seed)));
 }
 
 double bench_scale_from_env() {

@@ -63,4 +63,10 @@ std::string describe(const SimulationResult& result);
 /// --collective-cpu. Used by the CLI and the calibration scripts.
 void apply_cluster_overrides(net::ClusterSpec& spec, const Options& options);
 
+/// Apply the fault-injection flags: --fault '<schedule>' (the DSL of
+/// fault/fault_parse.hpp; ';'-separated specs) and --fault-seed N. Parse
+/// errors propagate as fault::FaultParseError naming the offending token
+/// and its position.
+void apply_fault_options(SimulationConfig& cfg, const Options& options);
+
 }  // namespace cagvt::core

@@ -13,6 +13,10 @@ using metasim::SimTime;
 void MatternGvt::begin_round() {
   CAGVT_CHECK(phase_ == Phase::kIdle);
   phase_ = Phase::kRed;
+  // Alternate the round colour: messages of the previous colour — including
+  // any still in flight from the last round — are what this round's
+  // counting phase drains before the Collect cut.
+  cur_color_ = flip(cur_color_);
   ++round_;
   round_started_ = node_.engine().now();
   red_count_ = 0;
@@ -113,24 +117,24 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
   const auto& cfg = node_.cfg();
   const bool agent_inline = worker.mpi_duty && !cfg.has_dedicated_mpi();
 
-  // --- White phase: join the round by turning red (Alg. 2 lines 2-7;
-  // Alg. 3 adds the first conditional barrier). -----------------------------
-  if (worker.gvt.color == pdes::Color::kWhite) {
-    if (phase_ == Phase::kIdle && worker.gvt.iters_since_round >= cfg.gvt_interval)
-      begin_round();
-    if (phase_ == Phase::kRed) {
-      if (sync_round_active_)
-        co_await sys_barrier(agent_inline, worker.index_in_node, "pre-red");
-      co_await cm_mutex_.lock();
-      worker.gvt.color = pdes::Color::kRed;
-      node_.trace().white_red(node_.rank(), worker.index_in_node, round_);
-      worker.gvt.min_red = pdes::kVtInfinity;
-      worker.gvt.contributed = false;
-      worker.gvt.adopted = false;
-      ++red_count_;
-      cm_mutex_.unlock();
-      worker.gvt.iters_since_round = 0;
-    }
+  // --- Join phase: flip to the round's colour (Alg. 2 lines 2-7;
+  // Alg. 3 adds the first conditional barrier). Colours alternate per
+  // round — begin_round flips cur_color_, so "not yet the round's colour"
+  // marks a thread that has not joined. -------------------------------------
+  if (phase_ == Phase::kIdle && worker.gvt.iters_since_round >= cfg.gvt_interval)
+    begin_round();
+  if (phase_ == Phase::kRed && worker.gvt.color != cur_color_) {
+    if (sync_round_active_)
+      co_await sys_barrier(agent_inline, worker.index_in_node, "pre-red");
+    co_await cm_mutex_.lock();
+    worker.gvt.color = cur_color_;
+    node_.trace().white_red(node_.rank(), worker.index_in_node, round_);
+    worker.gvt.min_red = pdes::kVtInfinity;
+    worker.gvt.contributed = false;
+    worker.gvt.adopted = false;
+    ++red_count_;
+    cm_mutex_.unlock();
+    worker.gvt.iters_since_round = 0;
   }
 
   // During a synchronous round, held workers still read (and count)
@@ -141,7 +145,7 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
   // --- Red phase: once every white message is accounted for, contribute
   // LVT and min_red to the node control structure (Alg. 2 lines 8-12;
   // Alg. 3 adds the second barrier and the efficiency bookkeeping cost). ----
-  if (phase_ == Phase::kCollect && worker.gvt.color == pdes::Color::kRed &&
+  if (phase_ == Phase::kCollect && worker.gvt.color == cur_color_ &&
       !worker.gvt.contributed) {
     if (sync_round_active_)
       co_await sys_barrier(agent_inline, worker.index_in_node, "pre-collect");
@@ -165,15 +169,16 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
     cm_mutex_.unlock();
   }
 
-  // --- Broadcast: adopt the new GVT, fossil collect, flip white (Alg. 2
-  // lines 16-20; Alg. 3 adds the post-fossil barrier). ----------------------
-  if (phase_ == Phase::kBroadcast && worker.gvt.color == pdes::Color::kRed &&
+  // --- Broadcast: adopt the new GVT, fossil collect (Alg. 2 lines 16-20;
+  // Alg. 3 adds the post-fossil barrier). Threads keep the round's colour:
+  // messages sent from here on stay accountable — the next round drains
+  // them as its previous colour. ---------------------------------------------
+  if (phase_ == Phase::kBroadcast && worker.gvt.color == cur_color_ &&
       !worker.gvt.adopted) {
     CAGVT_CHECK(worker.gvt.contributed);
     worker.gvt.adopted = true;
     const std::uint64_t committed = node_.adopt_gvt(worker, gvt_value_, round_);
     co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
-    worker.gvt.color = pdes::Color::kWhite;
     worker.gvt.iters_since_round = 0;
     if (sync_round_active_)
       co_await sys_barrier(agent_inline, worker.index_in_node, "post-fossil");
@@ -187,10 +192,12 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
 Process MatternGvt::agent_tick(WorkerCtx* self) {
   const int workers = node_.cfg().workers_per_node();
 
-  // Background white-message counting: all agents repeatedly all-reduce
-  // the cumulative white counters; zero means every white message has
-  // arrived (accumulateMsgCountersAcrossNodes).
+  // Background message counting: all agents repeatedly all-reduce the
+  // cumulative counters of the PREVIOUS round's colour; zero means every
+  // message of that colour — including stragglers sent after the last
+  // round's broadcast — has arrived (accumulateMsgCountersAcrossNodes).
   if (phase_ == Phase::kRed && red_count_ == workers && !counting_done_) {
+    const std::int64_t& old_counter = counter_[idx(flip(cur_color_))];
     while (true) {
       bool pump = false;
       co_await node_.mpi_progress(&pump);
@@ -199,8 +206,8 @@ Process MatternGvt::agent_tick(WorkerCtx* self) {
         // must keep draining or the count would never reach zero.
         co_await node_.drain_inboxes(*self, &pump);
       }
-      const std::int64_t total = co_await node_.fabric().allreduce_sum(white_counter_);
-      CAGVT_CHECK_MSG(total >= 0, "white message accounting went negative");
+      const std::int64_t total = co_await node_.fabric().allreduce_sum(old_counter);
+      CAGVT_CHECK_MSG(total >= 0, "colour message accounting went negative");
       if (total == 0) break;
     }
     counting_done_ = true;

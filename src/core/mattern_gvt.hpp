@@ -2,20 +2,31 @@
 // paper does) to a two-level cluster of many-core nodes:
 //
 //  * Message colouring: every off-thread event message carries its
-//    sender's colour. White messages maintain a per-node cumulative
-//    counter (sent - received); red messages contribute their receive
-//    timestamp to the sender's min_red.
-//  * A GVT round turns every thread red (interval-triggered; threads do
-//    NOT block — they keep simulating throughout).
-//  * White counting across nodes runs as a background MPI reduction on the
+//    sender's colour, and colours ALTERNATE from round to round (Mattern's
+//    repeated-cut scheme). Each colour keeps a per-node cumulative counter
+//    (sent - received); a round drains the PREVIOUS round's colour to zero
+//    before collecting, while messages of the current colour contribute
+//    their receive timestamp to the sender's min_red. Alternation is what
+//    makes repeated rounds sound: a current-colour message still in flight
+//    when this round's broadcast lands (possible — senders keep simulating
+//    after contributing) is exactly what the NEXT round's counting phase
+//    waits for. With a single colour pair that never alternated, such a
+//    message would be invisible to every later round and GVT could overrun
+//    it — a hole that real perturbed timing (stragglers) does expose.
+//  * A GVT round flips every thread to the round's colour
+//    (interval-triggered; threads do NOT block — they keep simulating
+//    throughout).
+//  * Counting across nodes runs as a background MPI reduction on the
 //    MPI agents (the paper's accumulateMsgCountersAcrossNodes): the agents
-//    repeatedly all-reduce the cumulative white counters until the global
-//    sum reaches zero — i.e. every white message has been received.
+//    repeatedly all-reduce the previous colour's cumulative counters until
+//    the global sum reaches zero — i.e. every message of the old colour
+//    has been received.
 //  * Then a control message circulates the node ring (circulateGlobalCM):
 //    a Collect pass gathers min LVT / min red (each node folds in its
 //    values once all its threads contributed to the node-shared control
 //    structure), and a Broadcast pass distributes GVT = min(LVT, min_red).
-//  * Threads adopt the GVT, fossil-collect, flip back to white.
+//  * Threads adopt the GVT and fossil-collect; they keep the round's
+//    colour until they join the next round.
 //
 // CA-GVT (Algorithm 3) derives from this class and injects its conditional
 // barriers and efficiency bookkeeping through the protected hooks.
@@ -35,16 +46,16 @@ class MatternGvt : public GvtAlgorithm {
 
   void on_send(WorkerCtx& worker, pdes::Event& event) override {
     event.color = worker.gvt.color;
-    if (event.color == pdes::Color::kWhite) {
-      ++white_counter_;
-    } else if (event.recv_ts < worker.gvt.min_red) {
+    ++counter_[idx(event.color)];
+    // Current-colour sends feed min_red; old-colour sends (a thread that
+    // has not joined the round yet) are covered by the counting drain.
+    if (event.color == cur_color_ && event.recv_ts < worker.gvt.min_red)
       worker.gvt.min_red = event.recv_ts;
-    }
   }
 
   void on_recv(WorkerCtx& worker, const pdes::Event& event) override {
     (void)worker;
-    if (event.color == pdes::Color::kWhite) --white_counter_;
+    --counter_[idx(event.color)];
   }
 
   metasim::Process worker_tick(WorkerCtx& worker) override;
@@ -60,12 +71,13 @@ class MatternGvt : public GvtAlgorithm {
     return phase_ == Phase::kIdle || worker.gvt.adopted;
   }
 
-  /// During a CA-GVT synchronous round, red workers pause event processing
-  /// until they have adopted — the round then behaves like a Barrier GVT
-  /// round (full message flush, aligned resume).
+  /// During a CA-GVT synchronous round, joined workers pause event
+  /// processing until they have adopted — the round then behaves like a
+  /// Barrier GVT round (full message flush, aligned resume). (`adopted`
+  /// is cleared when a worker joins and set at broadcast, so it is the
+  /// "in the active round" marker now that colours persist across rounds.)
   bool worker_held(const WorkerCtx& worker) const override {
-    return sync_round_active_ && worker.gvt.color == pdes::Color::kRed &&
-           !worker.gvt.adopted;
+    return sync_round_active_ && !worker.gvt.adopted && worker.gvt.color == cur_color_;
   }
   bool agent_done() const override { return phase_ == Phase::kIdle; }
 
@@ -76,10 +88,10 @@ class MatternGvt : public GvtAlgorithm {
 
  protected:
   enum class Phase : std::uint8_t {
-    kIdle,       // between rounds, all threads white
-    kRed,        // threads turning red / background white counting
+    kIdle,       // between rounds, all threads carry the last round's colour
+    kRed,        // threads flipping colour / background old-colour counting
     kCollect,    // counting done; threads contribute LVT & min_red
-    kBroadcast,  // GVT known; threads adopt and flip white
+    kBroadcast,  // GVT known; threads adopt
   };
 
   // --- CA-GVT extension hooks --------------------------------------------
@@ -111,10 +123,19 @@ class MatternGvt : public GvtAlgorithm {
   /// (-1 for a dedicated MPI agent).
   metasim::Process sys_barrier(bool agent_side, int worker, const char* which);
 
+  static int idx(pdes::Color c) { return static_cast<int>(c); }
+  static pdes::Color flip(pdes::Color c) {
+    return c == pdes::Color::kWhite ? pdes::Color::kRed : pdes::Color::kWhite;
+  }
+
   // Per-node shared control structure (the paper's node-level CM), guarded
   // by a contended lock like the real shared-memory structure would be.
   metasim::Mutex cm_mutex_;
-  std::int64_t white_counter_ = 0;  // cumulative white sent - received
+  // Cumulative (sent - received) per message colour. The colour a round
+  // flips threads TO alternates round to round; the counting phase drains
+  // the opposite (previous) colour.
+  std::int64_t counter_[2] = {0, 0};
+  pdes::Color cur_color_ = pdes::Color::kWhite;
   int red_count_ = 0;
   bool counting_done_ = false;
   double node_min_lvt_ = pdes::kVtInfinity;

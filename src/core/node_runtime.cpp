@@ -51,7 +51,7 @@ Process NodeCollectives::barrier_agent() {
 NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
                          const pdes::LpMap& map, const pdes::Model& model, int node_id,
                          ClusterProfiler& profiler, obs::TraceRecorder& trace,
-                         obs::MetricsRegistry& metrics)
+                         obs::MetricsRegistry& metrics, const fault::FaultEngine* faults)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
@@ -61,6 +61,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       profiler_(profiler),
       trace_(trace),
       metrics_(metrics),
+      faults_(faults),
       regional_msgs_metric_(metrics.counter("net.regional_msgs")),
       remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
@@ -120,7 +121,7 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
     ++worker.gvt.iters_since_round;
     if (worker.mpi_duty) co_await gvt_->agent_tick(&worker);
     co_await gvt_->worker_tick(worker);
-    if (!did_work) co_await delay(cfg_.cluster.idle_poll);
+    if (!did_work) co_await delay(cpu(cfg_.cluster.idle_poll));
   }
 }
 
@@ -129,11 +130,25 @@ Process NodeRuntime::mpi_main() {
     bool did_work = false;
     co_await mpi_progress(&did_work);
     co_await gvt_->agent_tick(nullptr);
-    if (!did_work) co_await delay(cfg_.cluster.mpi_poll);
+    if (!did_work) co_await delay(cpu(cfg_.cluster.mpi_poll));
+  }
+}
+
+Process NodeRuntime::stall_if_faulted() {
+  // Repeat after waking: a pulse train (period > 0) may open the next pulse
+  // exactly where the previous one ended.
+  while (true) {
+    const SimTime until = faults_->mpi_stall_until(node_id_);
+    if (until <= engine_.now()) co_return;
+    co_await delay(until - engine_.now());
   }
 }
 
 Process NodeRuntime::mpi_progress(bool* did_work) {
+  // A stalled MPI agent makes no progress at all until the pulse ends —
+  // the paper's motivation for bounding asynchrony: stale tokens hold GVT
+  // (and fossil collection) back cluster-wide.
+  if (faults_ != nullptr) co_await stall_if_faulted();
   const auto& spec = cfg_.cluster;
   const std::uint64_t occupancy =
       mpi_outbox_.items.size() + fabric_.inbox(node_id_).size();
@@ -148,7 +163,7 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
     }
     const pdes::Event event = mpi_outbox_.items.front();
     mpi_outbox_.items.pop_front();
-    co_await delay(spec.shm_copy);
+    co_await delay(cpu(spec.shm_copy));
     mpi_outbox_.mutex.unlock();
     co_await fabric_.isend(node_id_, map_.node_of(event.dst_lp), spec.event_msg_bytes,
                            NetMsg{event});
@@ -169,10 +184,10 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
     }
     const SimTime base = std::holds_alternative<pdes::Event>(*msg) ? spec.mpi_recv_cpu
                                                                    : spec.control_recv_cpu;
-    co_await delay(shared_inbox
-                       ? static_cast<SimTime>(static_cast<double>(base) *
-                                              spec.threaded_mpi_penalty)
-                       : base);
+    co_await delay(cpu(shared_inbox
+                           ? static_cast<SimTime>(static_cast<double>(base) *
+                                                  spec.threaded_mpi_penalty)
+                           : base));
     if (shared_inbox) mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
       trace_.mpi_recv(node_id_, -1, "event");
@@ -189,7 +204,7 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
 
 Process NodeRuntime::deliver_to_worker(WorkerCtx& dest, pdes::Event event) {
   co_await dest.remote_in.mutex.lock();
-  co_await delay(cfg_.cluster.shm_copy);
+  co_await delay(cpu(cfg_.cluster.shm_copy));
   dest.remote_in.items.push_back(event);
   ++dest.remote_in.total_enqueued;
   dest.remote_in.mutex.unlock();
@@ -206,8 +221,8 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
     }
     const SimTime base = std::holds_alternative<pdes::Event>(*msg) ? spec.mpi_recv_cpu
                                                                    : spec.control_recv_cpu;
-    co_await delay(static_cast<SimTime>(static_cast<double>(base) *
-                                        spec.threaded_mpi_penalty));
+    co_await delay(cpu(static_cast<SimTime>(static_cast<double>(base) *
+                                            spec.threaded_mpi_penalty)));
     mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
       trace_.mpi_recv(node_id_, worker.index_in_node, "event");
@@ -236,7 +251,7 @@ Process NodeRuntime::drain_inboxes(WorkerCtx& worker, bool* did_work) {
     while (!queue->items.empty()) {
       batch.push_back(queue->items.front());
       queue->items.pop_front();
-      co_await delay(spec.shm_copy);
+      co_await delay(cpu(spec.shm_copy));
     }
     queue->mutex.unlock();
     for (const pdes::Event& event : batch) {
@@ -260,7 +275,7 @@ Process NodeRuntime::read_messages_deferred(WorkerCtx& worker) {
       ++worker.gvt.msgs_recv;
       gvt_->on_recv(worker, event);
       worker.round_buffer.push_back(event);
-      co_await delay(spec.shm_copy);
+      co_await delay(cpu(spec.shm_copy));
     }
     queue->mutex.unlock();
   }
@@ -293,7 +308,7 @@ Process NodeRuntime::handle_outcome(WorkerCtx& worker, pdes::Outcome outcome) {
   }
   cost += spec.rollback_per_event * outcome.rolled_back;
   cost += spec.antimessage_overhead * outcome.antimessages;
-  if (cost > 0) co_await delay(cost);
+  if (cost > 0) co_await delay(cpu(cost));
   for (pdes::Event& event : outcome.external) co_await send_event(worker, event);
 }
 
@@ -309,7 +324,7 @@ Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
     WorkerCtx& dest = *workers_[static_cast<std::size_t>(map_.worker_in_node(event.dst_lp))];
     CAGVT_ASSERT(&dest != &worker);  // same-thread events never reach here
     co_await dest.regional_in.mutex.lock();
-    co_await delay(spec.shm_copy);
+    co_await delay(cpu(spec.shm_copy));
     dest.regional_in.items.push_back(event);
     ++dest.regional_in.total_enqueued;
     dest.regional_in.mutex.unlock();
@@ -323,14 +338,14 @@ Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
     // serialized by the node-wide lock and paying the multi-threaded
     // call penalty — the contention of [2].
     co_await mpi_lock_.lock();
-    co_await delay(static_cast<SimTime>(static_cast<double>(spec.mpi_send_cpu) *
-                                        (spec.threaded_mpi_penalty - 1.0)));
+    co_await delay(cpu(static_cast<SimTime>(static_cast<double>(spec.mpi_send_cpu) *
+                                            (spec.threaded_mpi_penalty - 1.0))));
     co_await fabric_.isend(node_id_, dest_node, spec.event_msg_bytes, NetMsg{event});
     mpi_lock_.unlock();
     co_return;
   }
   co_await mpi_outbox_.mutex.lock();
-  co_await delay(spec.shm_copy);
+  co_await delay(cpu(spec.shm_copy));
   mpi_outbox_.items.push_back(event);
   ++mpi_outbox_.total_enqueued;
   mpi_outbox_.mutex.unlock();

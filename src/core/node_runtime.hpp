@@ -17,6 +17,7 @@
 #include "core/config.hpp"
 #include "core/gvt.hpp"
 #include "core/messages.hpp"
+#include "fault/fault_engine.hpp"
 #include "metasim/channel.hpp"
 #include "metasim/process.hpp"
 #include "metasim/sync.hpp"
@@ -169,10 +170,13 @@ class ClusterProfiler {
 
 class NodeRuntime {
  public:
+  /// `faults` may be null (healthy cluster); when set, every CPU cost the
+  /// node charges is scaled by the node's straggler factor and the MPI
+  /// agent honors stall pulses.
   NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
               const pdes::LpMap& map, const pdes::Model& model, int node_id,
               ClusterProfiler& profiler, obs::TraceRecorder& trace,
-              obs::MetricsRegistry& metrics);
+              obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -240,6 +244,16 @@ class NodeRuntime {
   metasim::SimTime gvt_block_time() const { return collectives_.node_block_time(); }
 
  private:
+  /// All simulated CPU time this node charges funnels through here so a
+  /// straggler window slows every activity uniformly (EPG, queue copies,
+  /// MPI packing, polling) — the model of a thermally throttled / noisy
+  /// KNL node.
+  metasim::SimTime cpu(metasim::SimTime base) const {
+    return faults_ == nullptr ? base : faults_->scale_cpu(node_id_, base);
+  }
+  /// MPI stall pulses: block until the agent's current pulse (if any) ends.
+  metasim::Process stall_if_faulted();
+
   metasim::Process worker_main(WorkerCtx& worker);
   metasim::Process mpi_main();
   metasim::Process send_event(WorkerCtx& worker, pdes::Event event);
@@ -257,6 +271,7 @@ class NodeRuntime {
   ClusterProfiler& profiler_;
   obs::TraceRecorder& trace_;
   obs::MetricsRegistry& metrics_;
+  const fault::FaultEngine* faults_;
   obs::CounterHandle regional_msgs_metric_;
   obs::CounterHandle remote_msgs_metric_;
 

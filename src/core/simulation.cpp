@@ -2,6 +2,7 @@
 
 #include "core/mattern_gvt.hpp"
 #include "core/node_runtime.hpp"
+#include "fault/fault_engine.hpp"
 #include "util/log.hpp"
 
 namespace cagvt::core {
@@ -27,11 +28,21 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   trace->set_clock([&engine] { return engine.now(); });
   fabric.set_trace(trace.get());
 
+  // Fault injection (src/fault): only instantiated when a schedule is
+  // present, so healthy runs never touch the subsystem and stay
+  // bit-identical to builds without it.
+  std::unique_ptr<fault::FaultEngine> faults;
+  if (!cfg_.faults.empty()) {
+    faults = std::make_unique<fault::FaultEngine>(cfg_.faults, cfg_.fault_seed, cfg_.nodes);
+    faults->arm(engine, trace.get(), metrics.get());
+    fabric.set_fault(faults.get());
+  }
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, model_, n,
-                                                  profiler, *trace, *metrics));
+                                                  profiler, *trace, *metrics, faults.get()));
   }
   for (auto& node : nodes) node->start();
 
@@ -74,6 +85,10 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.last_global_efficiency = mattern->last_global_efficiency();
   result.gvt_trace = profiler.gvt_trace();
   result.net_frames = fabric.network().frames_sent();
+  if (faults != nullptr) {
+    result.fault_activations = faults->activations();
+    result.fault_jitter_draws = faults->jitter_draws();
+  }
 
   // Detach the engine-bound clock (the engine dies with this frame) and
   // mirror the headline results into the registry so a single metrics CSV
@@ -91,6 +106,12 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     metrics->gauge("run.gvt_block_seconds").set(result.gvt_block_seconds);
     metrics->gauge("run.lock_wait_seconds").set(result.lock_wait_seconds);
     metrics->gauge("run.completed").set(result.completed ? 1 : 0);
+    if (faults != nullptr) {
+      metrics->gauge("run.fault_activations")
+          .set(static_cast<double>(result.fault_activations));
+      metrics->gauge("run.fault_jitter_draws")
+          .set(static_cast<double>(result.fault_jitter_draws));
+    }
   }
   if (cfg_.obs.trace) result.trace = trace;
   if (cfg_.obs.metrics) result.metrics = metrics;

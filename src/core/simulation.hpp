@@ -52,6 +52,12 @@ struct SimulationResult {
   std::uint64_t remote_msgs = 0;
   std::uint64_t net_frames = 0;
 
+  /// Fault-window activations announced during the run (0 when no --fault
+  /// schedule was configured; square waves / stall pulses count per cycle).
+  std::uint64_t fault_activations = 0;
+  /// Link-jitter RNG draws consumed (a cheap replay/divergence check).
+  std::uint64_t fault_jitter_draws = 0;
+
   /// Order-independent fingerprint of the committed event set; equal
   /// across any two correct runs of the same workload (see seqref).
   std::uint64_t committed_fingerprint = 0;

@@ -13,7 +13,13 @@ Engine::~Engine() {
 
 void Engine::call_at(SimTime when, std::function<void()> fn) {
   CAGVT_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
-  queue_.push(Entry{when, seq_++, std::move(fn)});
+  queue_.push(Entry{when, seq_++, std::move(fn), /*daemon=*/false});
+  ++live_count_;
+}
+
+void Engine::call_at_daemon(SimTime when, std::function<void()> fn) {
+  CAGVT_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
+  queue_.push(Entry{when, seq_++, std::move(fn), /*daemon=*/true});
 }
 
 void Engine::resume_at(SimTime when, std::coroutine_handle<> handle) {
@@ -22,13 +28,16 @@ void Engine::resume_at(SimTime when, std::coroutine_handle<> handle) {
 
 SimTime Engine::run(SimTime until) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
+  // Stop as soon as only daemon events remain: they are instrumentation,
+  // and dispatching them would advance the clock past the last real work.
+  while (live_count_ > 0 && !stopped_) {
     const Entry& top = queue_.top();
     if (top.when > until) break;
     // Copy out before pop: the continuation may push new entries and
     // invalidate the reference.
-    Entry entry{top.when, top.seq, std::move(const_cast<Entry&>(top).fn)};
+    Entry entry{top.when, top.seq, std::move(const_cast<Entry&>(top).fn), top.daemon};
     queue_.pop();
+    if (!entry.daemon) --live_count_;
     CAGVT_ASSERT(entry.when >= now_);
     now_ = entry.when;
     ++dispatched_;

@@ -33,6 +33,12 @@ class Engine {
   void call_at(SimTime when, std::function<void()> fn);
   void call_after(SimTime delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
 
+  /// Daemon variant: like call_at, but the event does not keep the engine
+  /// alive — run() returns (without advancing the clock) once only daemon
+  /// events remain. Background instrumentation (e.g. fault-window edges)
+  /// uses this so a run's duration is decided solely by real work.
+  void call_at_daemon(SimTime when, std::function<void()> fn);
+
   /// Schedule a coroutine resumption (used by awaitables).
   void resume_at(SimTime when, std::coroutine_handle<> handle);
 
@@ -61,6 +67,7 @@ class Engine {
     SimTime when;
     std::uint64_t seq;
     std::function<void()> fn;
+    bool daemon = false;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -72,6 +79,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t live_count_ = 0;  // queued non-daemon events
   bool stopped_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<std::coroutine_handle<>> frames_;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault_engine.hpp"
 #include "metasim/engine.hpp"
 #include "net/cluster_spec.hpp"
 #include "util/assert.hpp"
@@ -38,6 +39,11 @@ class Network {
   /// Upper layer's receive hook (one per fabric; invoked at arrival time).
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Install the fault-injection engine (null = healthy fabric). Degraded
+  /// links pay inflated latency, reduced bandwidth, and deterministic
+  /// jitter on every frame while a matching fault window is open.
+  void set_fault(fault::FaultEngine* faults) { faults_ = faults; }
+
   /// Inject a frame at the current time. The sender's CPU cost is NOT
   /// modelled here (the MPI layer charges it); this models only the wire.
   void transmit(int src, int dst, int bytes, Payload payload) {
@@ -46,9 +52,15 @@ class Network {
     const metasim::SimTime now = engine_.now();
     auto& busy = egress_busy_until_[static_cast<std::size_t>(src)];
     const metasim::SimTime start = busy > now ? busy : now;
-    const metasim::SimTime done_sending = start + spec_.transmit_time(bytes);
+    metasim::SimTime occupancy = spec_.transmit_time(bytes);
+    metasim::SimTime latency = spec_.net_latency;
+    if (faults_ != nullptr) {
+      occupancy = faults_->scale_transmit(src, dst, occupancy);
+      latency = faults_->link_latency(src, dst, latency);
+    }
+    const metasim::SimTime done_sending = start + occupancy;
     busy = done_sending;
-    const metasim::SimTime arrival = done_sending + spec_.net_latency;
+    const metasim::SimTime arrival = done_sending + latency;
     ++frames_sent_;
     bytes_sent_ += static_cast<std::uint64_t>(bytes);
     engine_.call_at(arrival, [this, src, dst, p = std::move(payload)]() mutable {
@@ -63,6 +75,7 @@ class Network {
  private:
   metasim::Engine& engine_;
   const ClusterSpec& spec_;
+  fault::FaultEngine* faults_ = nullptr;
   int nodes_;
   std::vector<metasim::SimTime> egress_busy_until_;
   DeliverFn deliver_;

@@ -60,11 +60,19 @@ class Fabric {
   /// are recorded by whoever drains the inbox and charges the recv cost.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Install the fault-injection engine (null = healthy cluster): straggler
+  /// windows multiply the per-message MPI CPU costs of the affected rank,
+  /// link windows degrade the wire (see Network::set_fault).
+  void set_fault(fault::FaultEngine* faults) {
+    faults_ = faults;
+    network_.set_fault(faults);
+  }
+
   /// Non-blocking send: charges the sender's per-message CPU cost, then
   /// puts the message on the wire. co_await from the sending MPI thread.
   metasim::Process isend(int src, int dst, int bytes, Payload payload) {
     if (trace_ != nullptr) trace_->mpi_send(src, dst, bytes, "event");
-    co_await metasim::delay(spec_.mpi_send_cpu);
+    co_await metasim::delay(cpu_cost(src, spec_.mpi_send_cpu));
     network_.transmit(src, dst, bytes, std::move(payload));
   }
 
@@ -72,7 +80,7 @@ class Fabric {
   /// service cost.
   metasim::Process isend_control(int src, int dst, int bytes, Payload payload) {
     if (trace_ != nullptr) trace_->mpi_send(src, dst, bytes, "control");
-    co_await metasim::delay(spec_.control_send_cpu);
+    co_await metasim::delay(cpu_cost(src, spec_.control_send_cpu));
     network_.transmit(src, dst, bytes, std::move(payload));
   }
 
@@ -110,9 +118,14 @@ class Fabric {
   static std::int64_t add_i64(std::int64_t a, std::int64_t b) { return a + b; }
   static double min_f64(double a, double b) { return a < b ? a : b; }
 
+  metasim::SimTime cpu_cost(int rank, metasim::SimTime base) const {
+    return faults_ == nullptr ? base : faults_->scale_cpu(rank, base);
+  }
+
   metasim::Engine& engine_;
   const ClusterSpec& spec_;
   obs::TraceRecorder* trace_ = nullptr;
+  fault::FaultEngine* faults_ = nullptr;
   int nranks_;
   Network<Payload> network_;
   std::vector<std::unique_ptr<metasim::Channel<Payload>>> inboxes_;

@@ -71,6 +71,8 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kFossil: return "fossil";
     case RecordKind::kMpiSend: return "mpi_send";
     case RecordKind::kMpiRecv: return "mpi_recv";
+    case RecordKind::kFaultOn: return "fault_on";
+    case RecordKind::kFaultOff: return "fault_off";
   }
   return "?";
 }
@@ -201,6 +203,18 @@ std::string to_chrome_trace_json(const TraceRecorder& recorder) {
         append_event_prefix(out, "i", rec);
         append_name(out, "mpi_recv", rec.label);
         out += ",\"s\":\"t\"}";
+        break;
+      case RecordKind::kFaultOn:
+        // Fault windows render as duration slices on the node's GVT/agent
+        // track, so Perfetto shows exactly when the cluster was perturbed.
+        append_event_prefix(out, "B", rec);
+        append_name(out, "fault", rec.label);
+        appendf(out, ",\"args\":{\"fault\":%" PRIu64 ",\"magnitude\":%.9g}}", rec.u,
+                rec.a);
+        break;
+      case RecordKind::kFaultOff:
+        append_event_prefix(out, "E", rec);
+        out += '}';
         break;
     }
   }

@@ -37,6 +37,9 @@ enum class RecordKind : std::uint8_t {
   kFossil,       // fossil collection (a = gvt, value = newly committed)
   kMpiSend,      // vmpi isend (u = dst rank, value = bytes, label = class)
   kMpiRecv,      // vmpi inbox pop (u = src rank hint or 0, label = class)
+  kFaultOn,      // injected fault window opened (a = magnitude, u = spec
+                 // index, label = fault kind)
+  kFaultOff,     // ... and closed
 };
 
 const char* to_string(RecordKind kind);
@@ -136,6 +139,17 @@ class TraceRecorder {
   void mpi_recv(int node, int worker, const char* msg_class) {
     emit({.kind = RecordKind::kMpiRecv, .node = narrow(node), .worker = narrow(worker),
           .label = msg_class});
+  }
+  /// An injected perturbation window opened on `node` (src/fault).
+  /// `magnitude` is the fault's headline factor (CPU slowdown, latency
+  /// inflation; 0 for stalls); `fault_id` is the spec's schedule index.
+  void fault_on(int node, const char* kind, double magnitude, std::uint64_t fault_id) {
+    emit({.kind = RecordKind::kFaultOn, .node = narrow(node), .a = magnitude,
+          .u = fault_id, .label = kind});
+  }
+  void fault_off(int node, const char* kind, std::uint64_t fault_id) {
+    emit({.kind = RecordKind::kFaultOff, .node = narrow(node), .u = fault_id,
+          .label = kind});
   }
 
   // --- inspection ----------------------------------------------------------

@@ -1,0 +1,76 @@
+// Golden-model correctness under perturbation: whatever the fault schedule
+// does to the cluster's timing — stragglers, degraded links, MPI stalls —
+// every GVT algorithm must still commit exactly the sequential oracle's
+// event set. Perturbations move WHEN things happen, never WHAT is computed;
+// any divergence means a fault hook broke Time Warp's correctness
+// machinery (ordering, annihilation, fossil collection).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulation.hpp"
+#include "fault/fault_parse.hpp"
+#include "models/phold.hpp"
+#include "pdes/seqref.hpp"
+
+namespace cagvt::core {
+namespace {
+
+struct PerturbedCase {
+  const char* name;
+  const char* schedule;
+};
+
+class PerturbedGolden : public ::testing::TestWithParam<PerturbedCase> {};
+
+TEST_P(PerturbedGolden, AllAlgorithmsMatchSequentialOracle) {
+  SimulationConfig cfg;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 6;
+  cfg.end_vt = 20.0;
+  cfg.gvt_interval = 6;
+  cfg.seed = 31;
+  cfg.faults = fault::parse_fault_schedule(GetParam().schedule);
+
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  models::PholdParams params;
+  params.regional_pct = 0.3;
+  params.remote_pct = 0.1;
+  params.epg_units = 500;
+  const models::PholdModel model(map, params);
+
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  ASSERT_GT(ref.committed(), 100u);
+
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    cfg.gvt = kind;
+    Simulation sim(cfg, model);
+    const SimulationResult r = sim.run(120.0);
+    ASSERT_TRUE(r.completed) << GetParam().name << "/" << to_string(kind);
+    EXPECT_EQ(r.events.committed, ref.committed())
+        << GetParam().name << "/" << to_string(kind);
+    EXPECT_EQ(r.committed_fingerprint, ref.fingerprint())
+        << GetParam().name << "/" << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, PerturbedGolden,
+    ::testing::Values(
+        PerturbedCase{"straggler_const", "straggler:node=1,t=100us..2ms,slow=4x"},
+        PerturbedCase{"straggler_square",
+                      "straggler:node=0,t=0..,slow=3x,profile=square,period=300us"},
+        PerturbedCase{"straggler_ramp", "straggler:node=all,t=0..3ms,slow=6x,profile=ramp"},
+        PerturbedCase{"degraded_links", "link:latency=4x,bw=0.25,jitter=2us"},
+        PerturbedCase{"mpi_stalls", "mpistall:node=1,t=100us..,stall=150us,period=800us"},
+        PerturbedCase{"everything",
+                      "straggler:node=1,t=50us..1ms,slow=4x;"
+                      "link:src=0,dst=1,latency=2x,jitter=1us;"
+                      "mpistall:node=0,t=200us..3ms,stall=100us,period=600us"}),
+    [](const ::testing::TestParamInfo<PerturbedCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cagvt::core

@@ -1,0 +1,149 @@
+// Fault-schedule DSL: valid schedules parse into validated FaultSpecs;
+// malformed ones throw FaultParseError naming the offending token and its
+// character position in the schedule string.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_parse.hpp"
+
+namespace cagvt::fault {
+namespace {
+
+TEST(FaultParseTest, StragglerFullForm) {
+  const auto specs = parse_fault_schedule("straggler:node=3,t=2ms..6ms,slow=4x");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].kind, FaultKind::kStraggler);
+  EXPECT_EQ(specs[0].node, 3);
+  EXPECT_EQ(specs[0].start, metasim::milliseconds(2));
+  EXPECT_EQ(specs[0].end, metasim::milliseconds(6));
+  EXPECT_DOUBLE_EQ(specs[0].slow, 4.0);
+  EXPECT_EQ(specs[0].profile, FaultProfile::kConstant);
+}
+
+TEST(FaultParseTest, TimeUnitsAndOpenWindows) {
+  // Bare numbers are ns; either window side may be omitted.
+  const auto ns = parse_fault_schedule("straggler:node=0,t=500..1500,slow=2");
+  EXPECT_EQ(ns[0].start, 500);
+  EXPECT_EQ(ns[0].end, 1500);
+
+  const auto open_end = parse_fault_schedule("straggler:node=0,t=3us..,slow=2x");
+  EXPECT_EQ(open_end[0].start, metasim::microseconds(3));
+  EXPECT_EQ(open_end[0].end, metasim::kTimeNever);
+
+  const auto open_start = parse_fault_schedule("straggler:node=0,t=..2s,slow=2x");
+  EXPECT_EQ(open_start[0].start, 0);
+  EXPECT_EQ(open_start[0].end, metasim::seconds(2));
+}
+
+TEST(FaultParseTest, ProfilesAndAllNodes) {
+  const auto specs = parse_fault_schedule(
+      "straggler:node=all,t=1ms..5ms,slow=3x,profile=square,period=500us");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].node, -1);
+  EXPECT_EQ(specs[0].profile, FaultProfile::kSquareWave);
+  EXPECT_EQ(specs[0].period, metasim::microseconds(500));
+
+  const auto ramp = parse_fault_schedule("straggler:node=1,t=0..4ms,slow=8x,profile=ramp");
+  EXPECT_EQ(ramp[0].profile, FaultProfile::kRamp);
+}
+
+TEST(FaultParseTest, LinkDegrade) {
+  const auto specs = parse_fault_schedule(
+      "link:src=0,dst=1,t=1ms..4ms,latency=4x,latency-add=10us,bw=0.5,jitter=2us");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(specs[0].src, 0);
+  EXPECT_EQ(specs[0].dst, 1);
+  EXPECT_DOUBLE_EQ(specs[0].latency_factor, 4.0);
+  EXPECT_EQ(specs[0].latency_add, metasim::microseconds(10));
+  EXPECT_DOUBLE_EQ(specs[0].bandwidth, 0.5);
+  EXPECT_EQ(specs[0].jitter, metasim::microseconds(2));
+}
+
+TEST(FaultParseTest, MpiStallAndMultipleSpecs) {
+  const auto specs = parse_fault_schedule(
+      "mpistall:node=2,t=3ms..8ms,stall=200us,period=1ms;"
+      "straggler:node=0,slow=2x");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].kind, FaultKind::kMpiStall);
+  EXPECT_EQ(specs[0].stall, metasim::microseconds(200));
+  EXPECT_EQ(specs[0].period, metasim::milliseconds(1));
+  EXPECT_EQ(specs[1].kind, FaultKind::kStraggler);
+}
+
+TEST(FaultParseTest, DescribeRoundTrips) {
+  const char* const schedules[] = {
+      "straggler:node=3,t=2ms..6ms,slow=4x",
+      "link:src=0,dst=all,latency=4x,bw=0.5,jitter=2us",
+      "mpistall:node=2,t=1ms..,stall=200us,period=1ms",
+  };
+  for (const char* schedule : schedules) {
+    const auto specs = parse_fault_schedule(schedule);
+    ASSERT_EQ(specs.size(), 1u) << schedule;
+    // describe() renders valid DSL that parses back to the same spec.
+    const auto reparsed = parse_fault_schedule(describe(specs[0]));
+    ASSERT_EQ(reparsed.size(), 1u) << describe(specs[0]);
+    EXPECT_EQ(reparsed[0].kind, specs[0].kind);
+    EXPECT_EQ(reparsed[0].start, specs[0].start);
+    EXPECT_EQ(reparsed[0].end, specs[0].end);
+    EXPECT_DOUBLE_EQ(reparsed[0].slow, specs[0].slow);
+    EXPECT_DOUBLE_EQ(reparsed[0].latency_factor, specs[0].latency_factor);
+    EXPECT_DOUBLE_EQ(reparsed[0].bandwidth, specs[0].bandwidth);
+    EXPECT_EQ(reparsed[0].jitter, specs[0].jitter);
+    EXPECT_EQ(reparsed[0].stall, specs[0].stall);
+    EXPECT_EQ(reparsed[0].period, specs[0].period);
+  }
+}
+
+/// Expects `schedule` to fail with FaultParseError whose token is `token`
+/// located at schedule.find(token), with the message naming both.
+void expect_parse_error(const std::string& schedule, const std::string& token) {
+  try {
+    parse_fault_schedule(schedule);
+    FAIL() << "expected FaultParseError for: " << schedule;
+  } catch (const FaultParseError& err) {
+    EXPECT_EQ(err.token(), token) << schedule << " -> " << err.what();
+    EXPECT_EQ(err.position(), schedule.find(token)) << schedule << " -> " << err.what();
+    const std::string what = err.what();
+    EXPECT_NE(what.find("'" + token + "'"), std::string::npos) << what;
+    EXPECT_NE(what.find("at char " + std::to_string(err.position())), std::string::npos)
+        << what;
+  }
+}
+
+TEST(FaultParseTest, MalformedSchedulesReportTokenAndPosition) {
+  expect_parse_error("wobble:node=1", "wobble");
+  expect_parse_error("straggler:node=1,slow=abc", "abc");
+  expect_parse_error("straggler:node=banana,slow=2x", "banana");
+  expect_parse_error("straggler:node=1,t=5ms", "5ms");            // not a window
+  expect_parse_error("straggler:node=1,bw=0.5", "bw");            // wrong kind's key
+  expect_parse_error("link:latency=4q", "4q");                    // trailing junk
+  expect_parse_error("straggler:node=1,profile=saw,slow=2", "saw");
+  expect_parse_error("straggler:node=1,slow", "slow");            // missing '='
+  // Second spec of a schedule: positions are offsets into the FULL string.
+  expect_parse_error("straggler:node=1,slow=2x;mpistall:node=0,stall=oops", "oops");
+}
+
+TEST(FaultParseTest, SemanticValidationFailsLoudly) {
+  // Syntactically fine, semantically invalid: validate() rejects these.
+  EXPECT_THROW(parse_fault_schedule("straggler:node=1,slow=0.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_schedule("straggler:node=1,t=5ms..2ms,slow=2x"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_schedule("straggler:node=1,slow=2x,profile=ramp"),
+               std::invalid_argument);  // ramp needs a bounded window
+  EXPECT_THROW(parse_fault_schedule("link:bw=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_schedule("link:bw=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_schedule("mpistall:node=1,stall=2ms,period=1ms"),
+               std::invalid_argument);  // stall longer than its period
+}
+
+TEST(FaultParseTest, EmptyScheduleAndEmptySpecs) {
+  EXPECT_TRUE(parse_fault_schedule("").empty());
+  // Stray separators are ignored, not errors.
+  const auto specs = parse_fault_schedule(";straggler:node=1,slow=2x;;");
+  EXPECT_EQ(specs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cagvt::fault
