@@ -22,8 +22,12 @@
 //                        --fault 'straggler:node=3,t=2ms..6ms,slow=4x'
 //                        --fault 'link:src=0,dst=1,latency=4x,jitter=2us'
 //                        --fault 'mpistall:node=2,t=1ms..,stall=200us,period=1ms'
+//                        --fault 'loss:src=0,dst=1,rate=0.2,t=1ms..4ms,class=data'
+//                        --fault 'crash:node=1,t=2ms,down=1ms'
 //                      see src/fault/fault_parse.hpp for the full DSL
 //   --fault-seed N     seed for the perturbation RNG streams
+//   --ckpt-every N     write a GVT-aligned checkpoint every N rounds (0=off;
+//                      crash recovery always has the initial checkpoint)
 //   --trace            print the GVT trace
 //   --trace-out FILE   write a Chrome trace-event JSON (Perfetto) trace
 //   --trace-csv FILE   write the structured trace as CSV
@@ -118,6 +122,18 @@ int main(int argc, char** argv) try {
     std::printf("fault activations   : %llu (%llu jitter draws)\n",
                 static_cast<unsigned long long>(r.fault_activations),
                 static_cast<unsigned long long>(r.fault_jitter_draws));
+  if (r.retransmits + r.acks_sent + r.frames_dropped + r.down_drops > 0)
+    std::printf("reliable transport  : %llu dropped (%llu at down nodes), %llu retransmits, "
+                "%llu acks, %llu dups\n",
+                static_cast<unsigned long long>(r.frames_dropped),
+                static_cast<unsigned long long>(r.down_drops),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.acks_sent),
+                static_cast<unsigned long long>(r.duplicates_dropped));
+  if (r.checkpoints + r.restores > 0)
+    std::printf("recovery            : %llu checkpoints, %llu restores, %.4f s recovering\n",
+                static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(r.restores), r.recovery_seconds);
   std::printf("final GVT           : %.3f%s\n", r.final_gvt, r.completed ? "" : "  [INCOMPLETE]");
 
   if (trace) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare two structured trace CSVs (from --trace-csv) and report the first
+semantic divergence.
+
+Two correct runs of the same configuration may interleave records from
+different (node, worker) streams in a different global order if anything
+non-deterministic crept in; comparing files byte-for-byte then points at the
+interleaving, not the cause. This tool aligns records per logical stream —
+key (node, worker, kind), matched by occurrence order within that stream —
+and reports the earliest record (by the first file's global seq) whose
+fields differ, plus streams that have extra or missing records entirely.
+
+Exit status: 0 = semantically identical, 1 = divergence found, 2 = usage.
+
+Usage:
+    build/examples/phold_cluster ... --trace-csv=a.csv
+    build/examples/phold_cluster ... --trace-csv=b.csv
+    python3 scripts/trace_diff.py a.csv b.csv [--ignore-time]
+
+--ignore-time drops t_ns from the comparison, answering "same behaviour,
+different timing?" separately from full bit-determinism.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+# Fields compared per aligned record pair (global `seq` is the interleaving
+# we deliberately ignore).
+SEMANTIC_FIELDS = ["round", "a", "b", "u", "value", "label"]
+
+
+def load_streams(path):
+    """Map (node, worker, kind) -> list of rows in file order."""
+    streams = defaultdict(list)
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            streams[(row["node"], row["worker"], row["kind"])].append(row)
+    return streams
+
+
+def describe(key, index, row):
+    node, worker, kind = key
+    return (f"node={node} worker={worker} kind={kind} occurrence #{index}"
+            f" (seq={row['seq']}, t_ns={row['t_ns']})")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--ignore-time"}
+    if len(args) != 2 or unknown:
+        sys.stderr.write(__doc__)
+        return 2
+    fields = SEMANTIC_FIELDS if "--ignore-time" in flags else ["t_ns"] + SEMANTIC_FIELDS
+
+    a_streams = load_streams(args[0])
+    b_streams = load_streams(args[1])
+
+    # Collect every per-stream divergence, then report the one that happens
+    # earliest in file A's global order (ties broken by file B's) — that is
+    # the first cause, everything later is usually fallout.
+    divergences = []  # (sort_key, message)
+    for key in sorted(set(a_streams) | set(b_streams)):
+        a_rows = a_streams.get(key, [])
+        b_rows = b_streams.get(key, [])
+        for i, (ra, rb) in enumerate(zip(a_rows, b_rows)):
+            diff = [f for f in fields if ra[f] != rb[f]]
+            if diff:
+                detail = ", ".join(f"{f}: {ra[f]} vs {rb[f]}" for f in diff)
+                divergences.append((int(ra["seq"]),
+                                    f"DIVERGED at {describe(key, i, ra)}\n  {detail}"))
+                break  # later rows of this stream are fallout
+        if len(a_rows) != len(b_rows):
+            longer, rows = ((args[0], a_rows) if len(a_rows) > len(b_rows)
+                            else (args[1], b_rows))
+            extra = rows[min(len(a_rows), len(b_rows))]
+            divergences.append((int(extra["seq"]),
+                                f"EXTRA records in {longer} at {describe(key, min(len(a_rows), len(b_rows)), extra)}"
+                                f"\n  {len(a_rows)} vs {len(b_rows)} records in stream"))
+
+    if not divergences:
+        total = sum(len(v) for v in a_streams.values())
+        mode = "ignoring timestamps" if "--ignore-time" in flags else "including timestamps"
+        print(f"identical: {total} records across {len(a_streams)} streams ({mode})")
+        return 0
+
+    divergences.sort(key=lambda d: d[0])
+    print(f"{len(divergences)} diverging stream(s); first by global order:\n")
+    print(divergences[0][1])
+    if len(divergences) > 1:
+        print("\nremaining diverging streams (likely fallout):")
+        for _, msg in divergences[1:]:
+            print("  " + msg.splitlines()[0])
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,7 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   if (!round_active_) {
     round_active_ = true;  // signals the dedicated MPI thread to join
     round_started_ = node_.engine().now();
+    if (node_.recovery() != nullptr) plan_ = node_.recovery()->plan_round(round_no_ + 1);
     node_.trace().round_begin(node_.rank(), round_no_ + 1, /*sync=*/true);
   }
   auto& collectives = node_.collectives();
@@ -42,6 +43,28 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round_no_ + 1,
                              "transit-count");
 
+  // Restore round: the transit count just drained every in-flight message
+  // (including retransmits held back by the crash), so the cut is
+  // quiescent — rewind instead of computing and adopting a GVT. The fence
+  // barrier keeps every node's rewind and transport reset ahead of any
+  // post-round send.
+  if (plan_ == RoundPlan::kRestore) {
+    const std::uint64_t round = round_no_;
+    co_await node_.restore_worker(worker, round + 1);
+    node_.trace().barrier_enter(node_.rank(), worker.index_in_node, round + 1,
+                                "restore-fence");
+    if (agent_inline) {
+      co_await collectives.barrier_agent();
+    } else {
+      co_await collectives.barrier();
+    }
+    node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round + 1,
+                               "restore-fence");
+    if (agent_inline) close_round();
+    co_await node_.flush_round_buffer(worker);
+    co_return;
+  }
+
   // Phase 2: reduce the minimum local virtual position into the GVT.
   // (Round index snapshotted before the barrier: the agent may close the
   // round while adopters are still running at the same timestamp.)
@@ -63,6 +86,21 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   const std::uint64_t committed = node_.adopt_gvt(worker, gvt, round);
   co_await delay(node_.cfg().cluster.fossil_per_event *
                  static_cast<metasim::SimTime>(committed));
+  if (plan_ == RoundPlan::kCheckpoint) {
+    co_await node_.checkpoint_worker(worker, round + 1, gvt);
+    // Fence the snapshot (kernel + transport cursors) from the round's
+    // flush: a send slipping in before a slower node's transport snapshot
+    // would tear the checkpoint's sequence-number cut.
+    node_.trace().barrier_enter(node_.rank(), worker.index_in_node, round + 1,
+                                "ckpt-fence");
+    if (agent_inline) {
+      co_await collectives.barrier_agent();
+    } else {
+      co_await collectives.barrier();
+    }
+    node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round + 1,
+                               "ckpt-fence");
+  }
   if (agent_inline) close_round();
   // Round over: hand the buffered messages to the engine (rollbacks and
   // their anti-messages happen now, as post-round traffic).
@@ -84,9 +122,22 @@ Process BarrierGvt::agent_tick(WorkerCtx* self) {
     if (collectives.last_sum() == 0) break;
   }
   node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "transit-count");
+  if (plan_ == RoundPlan::kRestore) {
+    // Mirror the workers: no GVT this round, just the restore fence.
+    node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "restore-fence");
+    co_await collectives.barrier_agent();
+    node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "restore-fence");
+    close_round();
+    co_return;
+  }
   node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "min-reduce");
   co_await collectives.min_agent(pdes::kVtInfinity);
   node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "min-reduce");
+  if (plan_ == RoundPlan::kCheckpoint) {
+    node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "ckpt-fence");
+    co_await collectives.barrier_agent();
+    node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "ckpt-fence");
+  }
   close_round();
 }
 

@@ -48,12 +48,18 @@ class BarrierGvt final : public GvtAlgorithm {
   bool round_active_ = false;
   std::uint64_t round_no_ = 0;
   metasim::SimTime round_started_ = 0;
+  /// What this round does besides GVT (checkpoint / restore). Every
+  /// Barrier round is already fully synchronous, but snapshot/rewind and
+  /// message sends must still be fenced by an extra global barrier — see
+  /// NodeRuntime::checkpoint_worker.
+  RoundPlan plan_ = RoundPlan::kNormal;
 
   void close_round() {
     ++round_no_;
     ++stats_.rounds;
     stats_.round_time_total += node_.engine().now() - round_started_;
     round_active_ = false;
+    plan_ = RoundPlan::kNormal;
     node_.trace().round_end(node_.rank(), round_no_);
     node_.metrics().counter("gvt.rounds").inc();
   }

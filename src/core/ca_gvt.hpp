@@ -16,10 +16,10 @@
 // a little extra per round (the paper measures GVT rounds ~8% costlier
 // than plain Mattern) — modelled by ClusterSpec::ca_round_overhead.
 //
-// The barrier insertion points and the SyncFlag distribution live in
-// MatternGvt (activated via the want_sync/contribute_overhead hooks); this
-// class supplies the policy plus the dedicated MPI thread's participation
-// in the conditional barriers.
+// The entire synchronous-round machinery — the barrier insertion points,
+// the SyncFlag distribution, and the dedicated MPI thread's barrier
+// participation — lives in MatternGvt (checkpoint/restore rounds reuse it
+// under every policy); this class supplies only the adaptive policy.
 #pragma once
 
 #include "core/mattern_gvt.hpp"
@@ -30,8 +30,6 @@ class CaGvt final : public MatternGvt {
  public:
   using MatternGvt::MatternGvt;
 
-  metasim::Process agent_tick(WorkerCtx* self) override;
-
  protected:
   bool want_sync(double efficiency, std::uint64_t queue_peak) const override {
     return efficiency < node_.cfg().ca_efficiency_threshold ||
@@ -40,15 +38,6 @@ class CaGvt final : public MatternGvt {
   metasim::SimTime contribute_overhead() const override {
     return node_.cfg().cluster.ca_round_overhead;
   }
-
- private:
-  /// Dedicated MPI thread's side of one conditional barrier, traced with
-  /// worker = -1 (the agent track).
-  metasim::Process agent_barrier(const char* which);
-
-  /// Which of the round's three barriers the dedicated MPI thread has
-  /// already joined (combined placement joins inline as a worker instead).
-  int agent_stage_ = 0;
 };
 
 }  // namespace cagvt::core

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault_parse.hpp"
 #include "fault/fault_spec.hpp"
 #include "net/cluster_spec.hpp"
 #include "pdes/event.hpp"
@@ -84,6 +85,11 @@ struct SimulationConfig {
   /// every this many loop iterations (event processing starves MPI
   /// progress — the effect that motivates the dedicated thread).
   int combined_mpi_poll_period = 4;
+  /// Write a GVT-aligned checkpoint every N GVT rounds (0 = off). Crash
+  /// recovery always has at least the initial round-0 checkpoint to rewind
+  /// to; a periodic cadence bounds how much work a crash discards.
+  /// Surfaced on the CLIs as --ckpt-every.
+  int ckpt_every = 0;
 
   int workers_per_node() const {
     return mpi == MpiPlacement::kDedicated ? threads_per_node - 1 : threads_per_node;
@@ -102,14 +108,19 @@ struct SimulationConfig {
     if (!(end_vt > 0)) throw std::invalid_argument("end_vt must be > 0");
     if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
+    if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
     for (std::size_t i = 0; i < faults.size(); ++i) {
       faults[i].validate(i);
+      const std::string where =
+          "fault spec #" + std::to_string(i + 1) + " (" + fault::describe(faults[i]) + "): ";
+      const std::string cluster = " is outside the cluster (" + std::to_string(nodes) +
+                                  " nodes, ids 0.." + std::to_string(nodes - 1) + ")";
       if (faults[i].node >= nodes)
-        throw std::invalid_argument("fault spec #" + std::to_string(i + 1) +
-                                    ": node out of range for this cluster");
-      if (faults[i].src >= nodes || faults[i].dst >= nodes)
-        throw std::invalid_argument("fault spec #" + std::to_string(i + 1) +
-                                    ": link endpoint out of range for this cluster");
+        throw std::invalid_argument(where + "node=" + std::to_string(faults[i].node) + cluster);
+      if (faults[i].src >= nodes)
+        throw std::invalid_argument(where + "src=" + std::to_string(faults[i].src) + cluster);
+      if (faults[i].dst >= nodes)
+        throw std::invalid_argument(where + "dst=" + std::to_string(faults[i].dst) + cluster);
     }
   }
 };

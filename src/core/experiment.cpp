@@ -29,6 +29,7 @@ void apply_fault_options(SimulationConfig& cfg, const Options& options) {
   cfg.fault_seed =
       static_cast<std::uint64_t>(options.get_int("fault-seed",
                                                  static_cast<std::int64_t>(cfg.fault_seed)));
+  cfg.ckpt_every = static_cast<int>(options.get_int("ckpt-every", cfg.ckpt_every));
 }
 
 double bench_scale_from_env() {

@@ -28,7 +28,13 @@ void MatternGvt::begin_round() {
   contributions_ = 0;
   collect_forwarded_ = false;
   adopted_count_ = 0;
-  sync_round_active_ = sync_flag_;
+  restore_cleared_ = false;
+  plan_ = node_.recovery() != nullptr ? node_.recovery()->plan_round(round_)
+                                      : RoundPlan::kNormal;
+  // Checkpoint/restore rounds piggyback on the synchronous machinery: the
+  // barriers quiesce processing, and the post-fossil barrier fences the
+  // snapshot/rewind from the round's message flush.
+  sync_round_active_ = sync_flag_ || plan_ != RoundPlan::kNormal;
   node_.trace().round_begin(node_.rank(), round_, sync_round_active_);
 }
 
@@ -177,8 +183,22 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
       !worker.gvt.adopted) {
     CAGVT_CHECK(worker.gvt.contributed);
     worker.gvt.adopted = true;
-    const std::uint64_t committed = node_.adopt_gvt(worker, gvt_value_, round_);
-    co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
+    if (plan_ == RoundPlan::kRestore) {
+      // Rewind instead of adopting: the computed GVT described the
+      // pre-crash state being discarded. The colour counters restart from
+      // zero — the restored cut has no in-flight messages to account for.
+      if (!restore_cleared_) {
+        restore_cleared_ = true;
+        counter_[0] = 0;
+        counter_[1] = 0;
+      }
+      co_await node_.restore_worker(worker, round_);
+    } else {
+      const std::uint64_t committed = node_.adopt_gvt(worker, gvt_value_, round_);
+      co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
+      if (plan_ == RoundPlan::kCheckpoint)
+        co_await node_.checkpoint_worker(worker, round_, gvt_value_);
+    }
     worker.gvt.iters_since_round = 0;
     if (sync_round_active_)
       co_await sys_barrier(agent_inline, worker.index_in_node, "post-fossil");
@@ -189,8 +209,35 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
   }
 }
 
+Process MatternGvt::agent_barrier(const char* which) {
+  node_.trace().barrier_enter(node_.rank(), /*worker=*/-1, round_, which);
+  co_await node_.collectives().barrier_agent();
+  node_.trace().barrier_exit(node_.rank(), /*worker=*/-1, round_, which);
+}
+
 Process MatternGvt::agent_tick(WorkerCtx* self) {
   const int workers = node_.cfg().workers_per_node();
+
+  // The dedicated MPI thread is a party of a synchronous round's
+  // system-wide barriers; join each as the round reaches it. Synchronous
+  // rounds occur under CA-GVT's SyncFlag and in any checkpoint/restore
+  // round. (When the agent is an inline worker, worker_tick already joins
+  // with the barrier_agent variant, so no stage machine is needed.)
+  if (node_.cfg().has_dedicated_mpi() && sync_round_active_) {
+    if (agent_stage_ == 0 && phase_ != Phase::kIdle) {
+      co_await agent_barrier("pre-red");  // before white->red
+      agent_stage_ = 1;
+    }
+    if (agent_stage_ == 1 && phase_ == Phase::kCollect) {
+      co_await agent_barrier("pre-collect");  // before contributions
+      agent_stage_ = 2;
+    }
+    if (agent_stage_ == 2 && phase_ == Phase::kBroadcast) {
+      co_await agent_barrier("post-fossil");  // after fossil / ckpt / rewind
+      agent_stage_ = 3;
+    }
+  }
+  if (phase_ == Phase::kIdle) agent_stage_ = 0;
 
   // Background message counting: all agents repeatedly all-reduce the
   // cumulative counters of the PREVIOUS round's colour; zero means every

@@ -112,6 +112,9 @@ class MatternGvt : public GvtAlgorithm {
   Phase phase_ = Phase::kIdle;
 
  private:
+  /// Dedicated MPI thread's side of one synchronous-round barrier, traced
+  /// with worker = -1 (the agent track).
+  metasim::Process agent_barrier(const char* which);
   void begin_round();
   void finish_round();
   void fold_node_into(MatternToken& token);
@@ -151,6 +154,16 @@ class MatternGvt : public GvtAlgorithm {
   bool sync_flag_ = false;          // SyncFlag in effect for the next round
   bool sync_round_active_ = false;  // SyncFlag snapshot for the current one
   double last_efficiency_ = 1.0;  // EWMA of per-round decided efficiency
+
+  /// What this round does besides GVT (checkpoint / restore). Checkpoint
+  /// and restore rounds are forced synchronous: the post-fossil barrier is
+  /// what makes the cut quiescent (no sends between the snapshot/rewind
+  /// and the barrier release).
+  RoundPlan plan_ = RoundPlan::kNormal;
+  bool restore_cleared_ = false;  // first restorer zeroed the colour counters
+  /// Which of a synchronous round's three barriers the dedicated MPI
+  /// thread has joined (combined placement joins inline as a worker).
+  int agent_stage_ = 0;
 
   std::uint64_t round_ = 0;
   metasim::SimTime round_started_ = 0;

@@ -51,7 +51,8 @@ Process NodeCollectives::barrier_agent() {
 NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
                          const pdes::LpMap& map, const pdes::Model& model, int node_id,
                          ClusterProfiler& profiler, obs::TraceRecorder& trace,
-                         obs::MetricsRegistry& metrics, const fault::FaultEngine* faults)
+                         obs::MetricsRegistry& metrics, const fault::FaultEngine* faults,
+                         RecoveryManager* recovery)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
@@ -62,6 +63,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       trace_(trace),
       metrics_(metrics),
       faults_(faults),
+      recovery_(recovery),
       regional_msgs_metric_(metrics.counter("net.regional_msgs")),
       remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
@@ -101,6 +103,10 @@ std::uint64_t NodeRuntime::adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_
 
 Process NodeRuntime::worker_main(WorkerCtx& worker) {
   while (!stop_ || !gvt_->worker_done(worker)) {
+    if (faults_ != nullptr && faults_->node_down(node_id_)) {
+      co_await halt_if_down();
+      continue;
+    }
     bool did_work = false;
     if (worker.mpi_duty && cfg_.mpi == MpiPlacement::kCombined &&
         worker.iterations % static_cast<std::uint64_t>(cfg_.combined_mpi_poll_period) == 0)
@@ -127,11 +133,22 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
 
 Process NodeRuntime::mpi_main() {
   while (!stop_ || !gvt_->agent_done()) {
+    if (faults_ != nullptr && faults_->node_down(node_id_)) {
+      co_await halt_if_down();
+      continue;
+    }
     bool did_work = false;
     co_await mpi_progress(&did_work);
     co_await gvt_->agent_tick(nullptr);
     if (!did_work) co_await delay(cpu(cfg_.cluster.mpi_poll));
   }
+}
+
+Process NodeRuntime::halt_if_down() {
+  // The node crashed: freeze until the restart instant. Back-to-back crash
+  // windows re-enter here via the caller's loop.
+  const SimTime until = faults_->node_restart_at(node_id_);
+  if (until > engine_.now()) co_await delay(until - engine_.now());
 }
 
 Process NodeRuntime::stall_if_faulted() {
@@ -349,6 +366,50 @@ Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
   mpi_outbox_.items.push_back(event);
   ++mpi_outbox_.total_enqueued;
   mpi_outbox_.mutex.unlock();
+}
+
+Process NodeRuntime::checkpoint_worker(WorkerCtx& worker, std::uint64_t round, double gvt) {
+  const auto& spec = cfg_.cluster;
+  co_await delay(cpu(spec.ckpt_base +
+                     spec.ckpt_per_lp * static_cast<SimTime>(worker.kernel.lp_count())));
+  WorkerSnapshot snap{worker.kernel.snapshot(), worker.round_buffer};
+  trace_.ckpt_write(node_id_, worker.index_in_node, round, gvt, snap.bytes());
+  recovery_->save_worker(round, gvt, worker.global_worker, std::move(snap));
+  if (++ckpt_done_ == cfg_.workers_per_node()) {
+    ckpt_done_ = 0;
+    recovery_->node_checkpoint_done(node_id_, round, fabric_.snapshot_transport(node_id_));
+  }
+}
+
+Process NodeRuntime::restore_worker(WorkerCtx& worker, std::uint64_t round) {
+  const auto& spec = cfg_.cluster;
+  const ClusterCheckpoint& ckpt = recovery_->restore_source();
+  co_await delay(cpu(spec.restore_base +
+                     spec.restore_per_lp * static_cast<SimTime>(worker.kernel.lp_count())));
+  // The restore cut must be quiesced: GVT counting drained every in-flight
+  // message before this round's adopt step, so nothing may be waiting in
+  // the inboxes (it would be silently erased by the rewind).
+  CAGVT_CHECK_MSG(worker.regional_in.items.empty() && worker.remote_in.items.empty(),
+                  "restore cut not quiesced (worker inbox)");
+  const WorkerSnapshot& snap = ckpt.workers[static_cast<std::size_t>(worker.global_worker)];
+  worker.kernel.restore(snap.kernel);
+  worker.round_buffer = snap.round_buffer;
+  // The checkpointed cut has no in-transit messages, so message-counting
+  // state restarts from zero; the efficiency window restarts from the
+  // restored commit counters.
+  worker.gvt.msgs_sent = 0;
+  worker.gvt.msgs_recv = 0;
+  worker.gvt.min_red = pdes::kVtInfinity;
+  worker.gvt.last_committed = snap.kernel.stats.committed;
+  worker.gvt.last_rolled_back = snap.kernel.stats.rolled_back;
+  trace_.restore(node_id_, worker.index_in_node, round, ckpt.round, ckpt.gvt, snap.bytes());
+  if (++restore_done_ == cfg_.workers_per_node()) {
+    restore_done_ = 0;
+    CAGVT_CHECK_MSG(mpi_outbox_.items.empty(), "restore cut not quiesced (mpi outbox)");
+    fabric_.restore_transport(node_id_, recovery_->restore_epoch(),
+                              ckpt.transport[static_cast<std::size_t>(node_id_)]);
+    recovery_->node_restore_complete(node_id_, round);
+  }
 }
 
 pdes::KernelStats NodeRuntime::aggregate_kernel_stats() const {

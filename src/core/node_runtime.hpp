@@ -17,6 +17,7 @@
 #include "core/config.hpp"
 #include "core/gvt.hpp"
 #include "core/messages.hpp"
+#include "core/recovery.hpp"
 #include "fault/fault_engine.hpp"
 #include "metasim/channel.hpp"
 #include "metasim/process.hpp"
@@ -176,7 +177,8 @@ class NodeRuntime {
   NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
               const pdes::LpMap& map, const pdes::Model& model, int node_id,
               ClusterProfiler& profiler, obs::TraceRecorder& trace,
-              obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr);
+              obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr,
+              RecoveryManager* recovery = nullptr);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -195,6 +197,8 @@ class NodeRuntime {
   /// (always valid objects; disabled instances ignore every call).
   obs::TraceRecorder& trace() { return trace_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Null when neither --ckpt-every nor a crash spec is configured.
+  RecoveryManager* recovery() { return recovery_; }
 
   /// A worker adopts a freshly computed GVT: fossil-collect, record the
   /// profiler samples, stop the node once the horizon is passed. Returns
@@ -227,6 +231,20 @@ class NodeRuntime {
   /// Charge the costs of an engine outcome and route its external events.
   metasim::Process handle_outcome(WorkerCtx& worker, pdes::Outcome outcome);
 
+  /// Checkpoint round, at the quiesced cut (after fossil collection,
+  /// before the round's post-barrier flush): charge the copy cost and
+  /// deposit this worker's slice; the node's last worker also captures the
+  /// transport cursors. The caller MUST hold a global barrier between this
+  /// and any message send, or the transport snapshot would tear.
+  metasim::Process checkpoint_worker(WorkerCtx& worker, std::uint64_t round, double gvt);
+
+  /// Restore round, in place of GVT adoption: rewind this worker to the
+  /// checkpoint being restored. Zeroes the worker's message-counting state
+  /// (the restored cut has no in-flight messages); the node's last worker
+  /// resets the data-plane transport under the round's restore epoch. Same
+  /// barrier obligation as checkpoint_worker.
+  metasim::Process restore_worker(WorkerCtx& worker, std::uint64_t round);
+
   // --- aggregate results --------------------------------------------------
   /// Highest MPI queue occupancy (outbox + fabric inbox) seen since the
   /// last call; consumes the peak. CA-GVT's queue-occupancy trigger.
@@ -253,6 +271,10 @@ class NodeRuntime {
   }
   /// MPI stall pulses: block until the agent's current pulse (if any) ends.
   metasim::Process stall_if_faulted();
+  /// Crash windows: a thread reaching its loop top while the node is down
+  /// freezes until the restart instant (the crash takes effect at loop
+  /// granularity; threads blocked inside a collective stay blocked there).
+  metasim::Process halt_if_down();
 
   metasim::Process worker_main(WorkerCtx& worker);
   metasim::Process mpi_main();
@@ -272,6 +294,7 @@ class NodeRuntime {
   obs::TraceRecorder& trace_;
   obs::MetricsRegistry& metrics_;
   const fault::FaultEngine* faults_;
+  RecoveryManager* recovery_;
   obs::CounterHandle regional_msgs_metric_;
   obs::CounterHandle remote_msgs_metric_;
 
@@ -283,6 +306,8 @@ class NodeRuntime {
 
   bool stop_ = false;
   double final_gvt_ = 0;
+  int ckpt_done_ = 0;     // workers finished in the current checkpoint round
+  int restore_done_ = 0;  // workers finished in the current restore round
   std::uint64_t mpi_queue_peak_ = 0;
   std::uint64_t regional_msgs_ = 0;
   std::uint64_t remote_msgs_ = 0;

@@ -37,14 +37,43 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     faults->arm(engine, trace.get(), metrics.get());
     fabric.set_fault(faults.get());
   }
+  // Loss or crash specs need delivery guarantees the raw wire does not
+  // give: switch the fabric to sequence-numbered, acked, retransmitting
+  // streams. Healthy runs (and fault schedules that only perturb timing)
+  // keep the bare wire and stay bit-identical to earlier builds.
+  if (faults != nullptr && faults->needs_reliable_transport())
+    fabric.enable_reliable(cfg_.fault_seed);
+
+  // Recovery: instantiated when checkpoints are requested or a crash is
+  // scheduled (a crash always has the initial checkpoint to rewind to).
+  std::unique_ptr<RecoveryManager> recovery;
+  bool has_crash = false;
+  for (const auto& spec : cfg_.faults)
+    if (spec.kind == fault::FaultKind::kCrash) has_crash = true;
+  if (cfg_.ckpt_every > 0 || has_crash)
+    recovery = std::make_unique<RecoveryManager>(cfg_, engine, metrics.get());
 
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, model_, n,
-                                                  profiler, *trace, *metrics, faults.get()));
+                                                  profiler, *trace, *metrics, faults.get(),
+                                                  recovery.get()));
   }
   for (auto& node : nodes) node->start();
+
+  // Deposit the initial checkpoint (round 0, GVT 0): the post-init,
+  // pre-traffic state is trivially a quiesced cut. This is setup work, not
+  // simulated work — it charges no time.
+  if (recovery != nullptr) {
+    for (auto& node : nodes)
+      for (auto& worker : node->workers())
+        recovery->save_worker(0, 0.0, worker->global_worker,
+                              {worker->kernel.snapshot(), {}});
+    for (auto& node : nodes)
+      recovery->node_checkpoint_done(node->rank(), 0,
+                                     fabric.snapshot_transport(node->rank()));
+  }
 
   engine.run(metasim::seconds(max_wall_seconds));
 
@@ -85,9 +114,19 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.last_global_efficiency = mattern->last_global_efficiency();
   result.gvt_trace = profiler.gvt_trace();
   result.net_frames = fabric.network().frames_sent();
+  result.retransmits = fabric.retransmits();
+  result.acks_sent = fabric.acks_sent();
+  result.duplicates_dropped = fabric.duplicates_dropped();
+  result.down_drops = fabric.down_drops();
   if (faults != nullptr) {
     result.fault_activations = faults->activations();
     result.fault_jitter_draws = faults->jitter_draws();
+    result.frames_dropped = faults->frames_dropped();
+  }
+  if (recovery != nullptr) {
+    result.checkpoints = recovery->checkpoints_completed();
+    result.restores = recovery->restores_completed();
+    result.recovery_seconds = metasim::to_seconds(recovery->recovery_time_total());
   }
 
   // Detach the engine-bound clock (the engine dies with this frame) and
@@ -111,6 +150,13 @@ SimulationResult Simulation::run(double max_wall_seconds) {
           .set(static_cast<double>(result.fault_activations));
       metrics->gauge("run.fault_jitter_draws")
           .set(static_cast<double>(result.fault_jitter_draws));
+      metrics->gauge("run.frames_dropped").set(static_cast<double>(result.frames_dropped));
+      metrics->gauge("run.retransmits").set(static_cast<double>(result.retransmits));
+    }
+    if (recovery != nullptr) {
+      metrics->gauge("run.checkpoints").set(static_cast<double>(result.checkpoints));
+      metrics->gauge("run.restores").set(static_cast<double>(result.restores));
+      metrics->gauge("run.recovery_seconds").set(result.recovery_seconds);
     }
   }
   if (cfg_.obs.trace) result.trace = trace;

@@ -52,6 +52,17 @@ struct SimulationResult {
   std::uint64_t remote_msgs = 0;
   std::uint64_t net_frames = 0;
 
+  // --- reliable transport / recovery (all 0 on healthy runs) -------------
+  std::uint64_t retransmits = 0;         // frames re-sent on timeout
+  std::uint64_t acks_sent = 0;           // transport acks put on the wire
+  std::uint64_t duplicates_dropped = 0;  // frames deduplicated at receive
+  std::uint64_t frames_dropped = 0;      // dropped by loss: fault specs
+  std::uint64_t down_drops = 0;          // black-holed at crashed endpoints
+  std::uint64_t checkpoints = 0;         // complete cluster checkpoints
+  std::uint64_t restores = 0;            // coordinated rewinds performed
+  /// Simulated failure-onset -> cluster-restored time, summed over crashes.
+  double recovery_seconds = 0;
+
   /// Fault-window activations announced during the run (0 when no --fault
   /// schedule was configured; square waves / stall pulses count per cycle).
   std::uint64_t fault_activations = 0;

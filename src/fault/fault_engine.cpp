@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fault/fault_parse.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -14,10 +15,23 @@ FaultEngine::FaultEngine(std::vector<FaultSpec> specs, std::uint64_t seed, int n
   CAGVT_CHECK(nodes >= 1);
   stragglers_by_node_.resize(static_cast<std::size_t>(nodes));
   stalls_by_node_.resize(static_cast<std::size_t>(nodes));
+  crashes_by_node_.resize(static_cast<std::size_t>(nodes));
   jitter_counters_.resize(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {
-    const FaultSpec& spec = specs_[i];
+    FaultSpec& spec = specs_[i];
     spec.validate(i);
+    // Targets must name real cluster members; a typo'd node id would
+    // otherwise silently perturb nothing (or, for crash, never restart).
+    const auto check_target = [&](int id, const char* what) {
+      if (id >= nodes)
+        throw std::invalid_argument(
+            "fault spec #" + std::to_string(i + 1) + " (" + describe(spec) + "): " +
+            what + "=" + std::to_string(id) + " is outside the cluster (" +
+            std::to_string(nodes) + " nodes, ids 0.." + std::to_string(nodes - 1) + ")");
+    };
+    check_target(spec.node, "node");
+    check_target(spec.src, "src");
+    check_target(spec.dst, "dst");
     switch (spec.kind) {
       case FaultKind::kStraggler:
         for (int n = 0; n < nodes; ++n)
@@ -34,6 +48,17 @@ FaultEngine::FaultEngine(std::vector<FaultSpec> specs, std::uint64_t seed, int n
         if (spec.jitter > 0)
           jitter_counters_[i].assign(
               static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 0);
+        break;
+      case FaultKind::kLoss:
+        loss_specs_.push_back(i);
+        jitter_counters_[i].assign(
+            static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 0);
+        break;
+      case FaultKind::kCrash:
+        // Programmatic specs may carry only (start, down); derive the
+        // window end the parser would have (the ctor owns its copy).
+        spec.end = spec.window_end();
+        crashes_by_node_[static_cast<std::size_t>(spec.node)].push_back(i);
         break;
     }
   }
@@ -134,6 +159,53 @@ SimTime FaultEngine::mpi_stall_until(int node) const {
   return until;
 }
 
+bool FaultEngine::drop_frame(int src, int dst, FrameClass cls) {
+  if (loss_specs_.empty()) return false;
+  const SimTime t = now();
+  for (const std::size_t i : loss_specs_) {
+    const FaultSpec& spec = specs_[i];
+    if (t < spec.start || t >= spec.end || !link_matches(spec, src, dst)) continue;
+    if (spec.loss_class != FrameClass::kAll && spec.loss_class != cls) continue;
+    if (spec.rate >= 1.0) {
+      ++frames_dropped_;
+      drops_metric_.inc();
+      return true;
+    }
+    // One deterministic coin per frame from the link's private stream, same
+    // keying discipline as jitter draws: replays with the same fault seed
+    // drop the exact same frames.
+    auto& counter = jitter_counters_[i][static_cast<std::size_t>(src) *
+                                            static_cast<std::size_t>(nodes_) +
+                                        static_cast<std::size_t>(dst)];
+    CounterRng rng(hash_combine(hash_combine(seed_, i),
+                                static_cast<std::uint64_t>(src) * 8192 +
+                                    static_cast<std::uint64_t>(dst)),
+                   counter);
+    const bool drop = rng.next_double() < spec.rate;
+    counter = rng.counter();
+    if (drop) {
+      ++frames_dropped_;
+      drops_metric_.inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultEngine::node_down(int node) const { return node_restart_at(node) != 0; }
+
+SimTime FaultEngine::node_restart_at(int node) const {
+  const auto& affecting = crashes_by_node_[static_cast<std::size_t>(node)];
+  if (affecting.empty()) return 0;
+  const SimTime t = now();
+  SimTime restart = 0;
+  for (const std::size_t i : affecting) {
+    const FaultSpec& spec = specs_[i];
+    if (t >= spec.start && t < spec.end && spec.end > restart) restart = spec.end;
+  }
+  return restart;
+}
+
 void FaultEngine::announce(const FaultSpec& spec, std::size_t index, bool on) {
   if (on) {
     ++activations_;
@@ -142,11 +214,24 @@ void FaultEngine::announce(const FaultSpec& spec, std::size_t index, bool on) {
     deactivations_metric_.inc();
   }
   if (trace_ == nullptr) return;
+  if (spec.kind == FaultKind::kCrash) {
+    // Crashes get their own record kind (the recovery pipeline's first
+    // event); the off edge is the restart, whose restore record comes from
+    // the recovery manager once state is actually reloaded.
+    if (on)
+      trace_->crash(spec.node, spec.end, static_cast<std::uint64_t>(index));
+    else
+      trace_->fault_off(spec.node, "crash", static_cast<std::uint64_t>(index));
+    return;
+  }
   const char* kind = to_string(spec.kind).data();  // to_string returns literals
   const double magnitude = spec.kind == FaultKind::kStraggler      ? spec.slow
                            : spec.kind == FaultKind::kLinkDegrade ? spec.latency_factor
+                           : spec.kind == FaultKind::kLoss        ? spec.rate
                                                                   : 0.0;
-  const int target = spec.kind == FaultKind::kLinkDegrade ? spec.src : spec.node;
+  const int target =
+      spec.kind == FaultKind::kLinkDegrade || spec.kind == FaultKind::kLoss ? spec.src
+                                                                            : spec.node;
   // One record per affected node so each node's Perfetto track shows its
   // own perturbation window.
   for (int n = 0; n < nodes_; ++n) {
@@ -193,6 +278,7 @@ void FaultEngine::arm(metasim::Engine& engine, obs::TraceRecorder* trace,
   if (metrics != nullptr) {
     activations_metric_ = metrics->counter("fault.activations");
     deactivations_metric_ = metrics->counter("fault.deactivations");
+    drops_metric_ = metrics->counter("fault.frames_dropped");
   }
   for (std::size_t i = 0; i < specs_.size(); ++i)
     schedule_edge(i, specs_[i].start, /*on=*/true, /*cycle=*/0);

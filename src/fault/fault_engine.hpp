@@ -62,6 +62,23 @@ class FaultEngine {
   /// If `node`'s MPI agent is inside a stall pulse now, the pulse's end
   /// time; otherwise 0.
   metasim::SimTime mpi_stall_until(int node) const;
+  /// Should a frame of `cls` on (src, dst) be lost on the wire right now?
+  /// Deterministic coin-flip from the spec's counter-RNG stream (rate=1 in
+  /// a bounded window = blackout). Non-const: flips advance the counter.
+  bool drop_frame(int src, int dst, FrameClass cls);
+  /// Is `node` inside a crash window right now?
+  bool node_down(int node) const;
+  /// End of the crash window `node` is currently inside (0 if up).
+  metasim::SimTime node_restart_at(int node) const;
+
+  /// Does the schedule contain loss or crash specs? Those require the
+  /// sequence-numbered reliable transport (net/reliable.hpp); without them
+  /// the fabric keeps its zero-overhead fire-and-forget path.
+  bool needs_reliable_transport() const {
+    for (const FaultSpec& spec : specs_)
+      if (spec.kind == FaultKind::kLoss || spec.kind == FaultKind::kCrash) return true;
+    return false;
+  }
 
   // --- inspection ---------------------------------------------------------
   const std::vector<FaultSpec>& specs() const { return specs_; }
@@ -69,6 +86,9 @@ class FaultEngine {
   /// count each cycle).
   std::uint64_t activations() const { return activations_; }
   std::uint64_t jitter_draws() const { return jitter_draws_; }
+  /// Frames dropped on the wire by loss specs (crash drops are counted by
+  /// the transport, which knows the frame's size and class).
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
 
  private:
   metasim::SimTime now() const;
@@ -91,15 +111,20 @@ class FaultEngine {
   std::vector<std::vector<std::size_t>> stragglers_by_node_;
   std::vector<std::vector<std::size_t>> stalls_by_node_;
   std::vector<std::size_t> link_specs_;
+  std::vector<std::size_t> loss_specs_;
+  std::vector<std::vector<std::size_t>> crashes_by_node_;
 
-  // Jitter state: per link-spec, per (src, dst) pair, the next counter of
-  // its CounterRng stream.
+  // Draw state: per spec, per (src, dst) pair, the next counter of its
+  // CounterRng stream (link jitter and loss coin-flips share the layout;
+  // the key differs by spec index so the streams never collide).
   std::vector<std::vector<std::uint64_t>> jitter_counters_;
 
   obs::CounterHandle activations_metric_;
   obs::CounterHandle deactivations_metric_;
+  obs::CounterHandle drops_metric_;
   std::uint64_t activations_ = 0;
   std::uint64_t jitter_draws_ = 0;
+  std::uint64_t frames_dropped_ = 0;
 };
 
 }  // namespace cagvt::fault

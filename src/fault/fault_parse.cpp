@@ -101,20 +101,44 @@ FaultKind parse_kind(Token tok) {
   if (tok.text == "straggler") return FaultKind::kStraggler;
   if (tok.text == "link" || tok.text == "linkdeg") return FaultKind::kLinkDegrade;
   if (tok.text == "mpistall" || tok.text == "stall") return FaultKind::kMpiStall;
+  if (tok.text == "loss") return FaultKind::kLoss;
+  if (tok.text == "crash") return FaultKind::kCrash;
   fail("unknown fault kind", tok.text, tok.pos);
+}
+
+FrameClass parse_frame_class(Token tok) {
+  if (tok.text == "all") return FrameClass::kAll;
+  if (tok.text == "data") return FrameClass::kData;
+  if (tok.text == "control") return FrameClass::kControl;
+  fail("unknown frame class", tok.text, tok.pos);
 }
 
 void apply_param(FaultSpec& spec, Token key, Token value) {
   const std::string_view k = key.text;
   if (k == "t") {
-    parse_window(value, spec);
+    // Crash windows are given as a point in time plus `down=`; every other
+    // kind takes the usual START..END window.
+    if (spec.kind == FaultKind::kCrash && value.text.find("..") == std::string_view::npos) {
+      spec.start = parse_time(value);
+    } else {
+      parse_window(value, spec);
+    }
   } else if (k == "node" &&
-             (spec.kind == FaultKind::kStraggler || spec.kind == FaultKind::kMpiStall)) {
+             (spec.kind == FaultKind::kStraggler || spec.kind == FaultKind::kMpiStall ||
+              spec.kind == FaultKind::kCrash)) {
     spec.node = parse_node(value);
-  } else if (k == "src" && spec.kind == FaultKind::kLinkDegrade) {
+  } else if (k == "src" &&
+             (spec.kind == FaultKind::kLinkDegrade || spec.kind == FaultKind::kLoss)) {
     spec.src = parse_node(value);
-  } else if (k == "dst" && spec.kind == FaultKind::kLinkDegrade) {
+  } else if (k == "dst" &&
+             (spec.kind == FaultKind::kLinkDegrade || spec.kind == FaultKind::kLoss)) {
     spec.dst = parse_node(value);
+  } else if (k == "rate" && spec.kind == FaultKind::kLoss) {
+    spec.rate = parse_number(value, "loss rate");
+  } else if (k == "class" && spec.kind == FaultKind::kLoss) {
+    spec.loss_class = parse_frame_class(value);
+  } else if (k == "down" && spec.kind == FaultKind::kCrash) {
+    spec.down = parse_time(value);
   } else if (k == "slow" && spec.kind == FaultKind::kStraggler) {
     spec.slow = parse_factor(value);
   } else if (k == "profile" && spec.kind == FaultKind::kStraggler) {
@@ -158,6 +182,9 @@ FaultSpec parse_one(Token tok, std::size_t index) {
     if (comma == std::string_view::npos) break;
     rest = rest.sub(comma + 1);
   }
+
+  // Crash windows derive their end from `down=`.
+  if (spec.kind == FaultKind::kCrash && spec.down > 0) spec.end = spec.start + spec.down;
 
   spec.validate(index);
   return spec;
@@ -211,6 +238,17 @@ std::string describe(const FaultSpec& spec) {
       out += ",stall=" + time(spec.stall);
       if (spec.period > 0) out += ",period=" + time(spec.period);
       break;
+    case FaultKind::kLoss:
+      out += ":src=" + target(spec.src) + ",dst=" + target(spec.dst);
+      out += ",rate=" + num(spec.rate);
+      if (spec.loss_class != FrameClass::kAll)
+        out += ",class=" + std::string(to_string(spec.loss_class));
+      break;
+    case FaultKind::kCrash:
+      out += ":node=" + target(spec.node);
+      out += ",down=" + time(spec.down);
+      out += ",t=" + time(spec.start);
+      return out;  // the window is (start, down); no START..END suffix
   }
   out += ",t=" + time(spec.start) + ".." + time(spec.end);
   return out;

@@ -6,11 +6,15 @@
 //   straggler:node=all,t=1ms..,slow=2x,profile=square,period=500us
 //   link:src=0,dst=all,t=1ms..4ms,latency=4x,bw=0.5,jitter=2us
 //   mpistall:node=2,t=3ms..8ms,stall=200us,period=1ms
+//   loss:src=0,dst=1,rate=0.2,t=1ms..4ms,class=data
+//   crash:node=1,t=2ms,down=1ms
 //
 // Grammar per spec: `kind ':' key=value (',' key=value)*`. Times accept
 // ns/us/ms/s suffixes (bare numbers are ns); windows are `t=START..END`
 // with either side omissible (`t=..5ms`, `t=2ms..`). Factors accept an
-// optional 'x' suffix. Node ids accept `all`.
+// optional 'x' suffix. Node ids accept `all`. Crash specs take a point in
+// time (`t=2ms`) plus `down=` instead of a window; loss `class` selects
+// the dropped traffic (`data` | `control` | `all`).
 //
 // Malformed schedules throw FaultParseError, which reports the offending
 // token and its character position in the schedule string (matching the

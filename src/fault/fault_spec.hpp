@@ -23,6 +23,16 @@ enum class FaultKind {
   kStraggler,    // per-node CPU slowdown (EPG / engine / MPI CPU costs)
   kLinkDegrade,  // per-link latency inflation, bandwidth cut, jitter
   kMpiStall,     // bounded pauses of a node's MPI agent (progress starvation)
+  kLoss,         // per-link frame loss (deterministic coin-flip or window)
+  kCrash,        // whole-node crash: down for a window, then restart; the
+                 // cluster restores from its last GVT-aligned checkpoint
+};
+
+/// Which traffic a kLoss spec drops. Acks travel the control plane.
+enum class FrameClass {
+  kAll,
+  kData,     // event messages
+  kControl,  // GVT tokens + transport acks
 };
 
 /// Time-shape of a straggler's slowdown factor inside its window.
@@ -65,6 +75,21 @@ struct FaultSpec {
   /// MPI stall: length of each pause of the node's MPI agent.
   metasim::SimTime stall = 0;
 
+  /// Loss: probability in (0, 1] that a matching frame is dropped on the
+  /// wire (1 + a bounded window = deterministic blackout).
+  double rate = 0.0;
+  /// Loss: which traffic class the spec drops.
+  FrameClass loss_class = FrameClass::kAll;
+  /// Crash: how long the node stays down after `start`. The parser and the
+  /// FaultEngine derive `end` = start + down from it.
+  metasim::SimTime down = 0;
+
+  /// Effective end of the active window: crash specs carry their window as
+  /// (start, down), every other kind carries it as [start, end) directly.
+  metasim::SimTime window_end() const {
+    return kind == FaultKind::kCrash && down > 0 ? start + down : end;
+  }
+
   /// Throws std::invalid_argument naming the offending field. `index` is
   /// the spec's position in the schedule, echoed in the message.
   void validate(std::size_t index = 0) const;
@@ -75,6 +100,17 @@ inline std::string_view to_string(FaultKind kind) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kLinkDegrade: return "link";
     case FaultKind::kMpiStall: return "mpistall";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+inline std::string_view to_string(FrameClass cls) {
+  switch (cls) {
+    case FrameClass::kAll: return "all";
+    case FrameClass::kData: return "data";
+    case FrameClass::kControl: return "control";
   }
   return "?";
 }
@@ -111,6 +147,16 @@ inline void FaultSpec::validate(std::size_t index) const {
       if (stall <= 0) fail("mpistall needs stall > 0");
       if (period < 0) fail("mpistall period must be >= 0");
       if (period > 0 && stall > period) fail("mpistall stall must be <= period");
+      break;
+    case FaultKind::kLoss:
+      if (!(rate > 0.0) || rate > 1.0) fail("loss rate must be in (0, 1]");
+      if (rate >= 1.0 && end == metasim::kTimeNever)
+        fail("loss rate=1 needs a bounded window (t=START..END), or nothing "
+             "would ever get through");
+      break;
+    case FaultKind::kCrash:
+      if (node < 0) fail("crash needs a specific node (node=K, not 'all')");
+      if (down <= 0) fail("crash needs down > 0 (how long the node stays down)");
       break;
   }
 }

@@ -100,6 +100,23 @@ struct ClusterSpec {
   /// Per-hop CPU cost inside a collective (allreduce/barrier step).
   SimTime mpi_collective_cpu = 2000;
 
+  // ---- reliable transport / recovery ------------------------------------
+  /// Base retransmit timeout of the reliable transport (~5x the healthy
+  /// round-trip of a small message; backed off exponentially, jittered by
+  /// up to a quarter from the counter RNG).
+  SimTime retransmit_timeout = 25000;
+  /// Wire size of a transport ack (cumulative, control plane). Acks and
+  /// retransmissions charge no MPI-thread CPU: they are modelled as NIC /
+  /// transport-layer work below the MPI progress engine.
+  int ack_msg_bytes = 32;
+  /// Worker CPU cost of writing its slice of a GVT-aligned checkpoint:
+  /// base + per-LP copy (LP state blobs are small; see pdes/kernel.hpp).
+  SimTime ckpt_base = 15000;
+  SimTime ckpt_per_lp = 350;
+  /// Worker CPU cost of reloading its slice during a restore round.
+  SimTime restore_base = 25000;
+  SimTime restore_per_lp = 500;
+
   /// Release cost of an MPI barrier / allreduce across `ranks` nodes:
   /// a dissemination pattern takes ceil(log2(ranks)) rounds of one
   /// latency + one collective CPU step each.

@@ -73,6 +73,10 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kMpiRecv: return "mpi_recv";
     case RecordKind::kFaultOn: return "fault_on";
     case RecordKind::kFaultOff: return "fault_off";
+    case RecordKind::kCkptWrite: return "ckpt_write";
+    case RecordKind::kCrash: return "crash";
+    case RecordKind::kRestore: return "restore";
+    case RecordKind::kRetransmit: return "retransmit";
   }
   return "?";
 }
@@ -215,6 +219,32 @@ std::string to_chrome_trace_json(const TraceRecorder& recorder) {
       case RecordKind::kFaultOff:
         append_event_prefix(out, "E", rec);
         out += '}';
+        break;
+      case RecordKind::kCkptWrite:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "ckpt_write", "");
+        appendf(out, ",\"s\":\"t\",\"args\":{\"round\":%" PRIu64
+                ",\"gvt\":%.9g,\"bytes\":%" PRId64 "}}",
+                rec.round, json_double(rec.a), rec.value);
+        break;
+      case RecordKind::kCrash:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "crash", "");
+        appendf(out, ",\"s\":\"g\",\"args\":{\"fault\":%" PRIu64
+                ",\"restart_at\":%.9g}}", rec.u, json_double(rec.a));
+        break;
+      case RecordKind::kRestore:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "restore", "");
+        appendf(out, ",\"s\":\"p\",\"args\":{\"round\":%" PRIu64
+                ",\"ckpt_round\":%" PRIu64 ",\"gvt\":%.9g,\"bytes\":%" PRId64 "}}",
+                rec.round, rec.u, json_double(rec.a), rec.value);
+        break;
+      case RecordKind::kRetransmit:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "retransmit", rec.label);
+        appendf(out, ",\"s\":\"t\",\"args\":{\"dst\":%" PRIu64 ",\"bytes\":%" PRId64 "}}",
+                rec.u, rec.value);
         break;
     }
   }

@@ -40,6 +40,12 @@ enum class RecordKind : std::uint8_t {
   kFaultOn,      // injected fault window opened (a = magnitude, u = spec
                  // index, label = fault kind)
   kFaultOff,     // ... and closed
+  kCkptWrite,    // GVT-aligned checkpoint written (a = gvt, value = bytes)
+  kCrash,        // node went down (a = restart time, u = spec index)
+  kRestore,      // node reloaded a checkpoint (a = restored gvt,
+                 // u = checkpoint round, value = bytes)
+  kRetransmit,   // reliable transport resent an unacked frame (u = dst rank,
+                 // value = bytes, label = stream class)
 };
 
 const char* to_string(RecordKind kind);
@@ -150,6 +156,29 @@ class TraceRecorder {
   void fault_off(int node, const char* kind, std::uint64_t fault_id) {
     emit({.kind = RecordKind::kFaultOff, .node = narrow(node), .u = fault_id,
           .label = kind});
+  }
+  /// A worker deposited its slice of a GVT-aligned checkpoint.
+  void ckpt_write(int node, int worker, std::uint64_t round, double gvt,
+                  std::int64_t bytes) {
+    emit({.kind = RecordKind::kCkptWrite, .node = narrow(node), .worker = narrow(worker),
+          .round = round, .a = gvt, .value = bytes});
+  }
+  /// `node` crashed; `restart_at` is when its fault window ends.
+  void crash(int node, std::int64_t restart_at, std::uint64_t fault_id) {
+    emit({.kind = RecordKind::kCrash, .node = narrow(node),
+          .a = static_cast<double>(restart_at), .u = fault_id});
+  }
+  /// A worker reloaded its slice of checkpoint `ckpt_round` (gvt = the
+  /// recovery line the cluster rolled back to).
+  void restore(int node, int worker, std::uint64_t round, std::uint64_t ckpt_round,
+               double gvt, std::int64_t bytes) {
+    emit({.kind = RecordKind::kRestore, .node = narrow(node), .worker = narrow(worker),
+          .round = round, .a = gvt, .u = ckpt_round, .value = bytes});
+  }
+  /// The reliable transport resent an unacked frame to `dst`.
+  void retransmit(int node, int dst, std::int64_t bytes, const char* stream) {
+    emit({.kind = RecordKind::kRetransmit, .node = narrow(node),
+          .u = static_cast<std::uint64_t>(dst), .value = bytes, .label = stream});
   }
 
   // --- inspection ----------------------------------------------------------

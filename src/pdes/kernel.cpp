@@ -234,4 +234,37 @@ std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
   return newly_committed;
 }
 
+std::int64_t ThreadKernel::Snapshot::bytes() const {
+  std::size_t total = lps.size() * sizeof(Lp) + pending.size() * sizeof(Event) +
+                      early_antis.size() * sizeof(std::uint64_t);
+  for (const Lp& lp : lps)
+    total += lp.state.size() + lp.history.size() * sizeof(ProcessedRecord);
+  return static_cast<std::int64_t>(total);
+}
+
+ThreadKernel::Snapshot ThreadKernel::snapshot() const {
+  CAGVT_CHECK_MSG(queue_.empty(), "checkpoint mid-cascade");
+  Snapshot snap;
+  snap.lps = lps_;
+  snap.pending = pending_;
+  snap.early_antis = early_antis_;
+  snap.last_fossil_gvt = last_fossil_gvt_;
+  snap.stats = stats_;
+  snap.committed_fingerprint = committed_fingerprint_;
+  snap.live_history = live_history_;
+  return snap;
+}
+
+void ThreadKernel::restore(const Snapshot& snap) {
+  CAGVT_CHECK_MSG(queue_.empty(), "restore mid-cascade");
+  CAGVT_CHECK_MSG(snap.lps.size() == lps_.size(), "snapshot from a different layout");
+  lps_ = snap.lps;
+  pending_ = snap.pending;
+  early_antis_ = snap.early_antis;
+  last_fossil_gvt_ = snap.last_fossil_gvt;
+  stats_ = snap.stats;
+  committed_fingerprint_ = snap.committed_fingerprint;
+  live_history_ = snap.live_history;
+}
+
 }  // namespace cagvt::pdes

@@ -50,6 +50,21 @@ struct Outcome {
 };
 
 class ThreadKernel {
+ private:
+  // Declared first so the public Snapshot below can hold them.
+  struct ProcessedRecord {
+    Event event;
+    InlineVec<Event, 2> outputs;
+    InlineVec<std::byte, 48> pre_state;
+  };
+
+  struct Lp {
+    VirtualTime lvt = 0;
+    EventKey last_processed{};
+    std::vector<std::byte> state;
+    std::deque<ProcessedRecord> history;
+  };
+
  public:
   ThreadKernel(const Model& model, const LpMap& map, int worker, KernelConfig cfg);
 
@@ -78,6 +93,32 @@ class ThreadKernel {
 
   /// Commit everything left (call after GVT has passed end_vt).
   std::uint64_t final_commit() { return fossil_collect(kVtInfinity); }
+
+  /// Deep copy of the full Time Warp state of this kernel, taken at a
+  /// quiesced GVT cut (no cascade in progress). Restoring it on a restore
+  /// round rewinds the kernel to that cut exactly: LP states + histories,
+  /// the pending set (tombstones and all), early anti-messages, committed
+  /// stats/fingerprint, and the fossil horizon. RNG cursors need no
+  /// snapshot — every handler draw is a CounterRng keyed by event identity,
+  /// so re-execution after the rewind reproduces the same randomness.
+  /// Restoring last_fossil_gvt makes the kernel's own "below fossil
+  /// horizon" CHECKs the proof that recovery never rolls back past the
+  /// checkpoint's GVT.
+  struct Snapshot {
+    std::vector<Lp> lps;
+    PendingSet pending;
+    std::unordered_set<std::uint64_t> early_antis;
+    VirtualTime last_fossil_gvt = -kVtInfinity;
+    KernelStats stats;
+    std::uint64_t committed_fingerprint = 0;
+    std::size_t live_history = 0;
+
+    /// Approximate in-memory footprint (for ckpt_write trace records).
+    std::int64_t bytes() const;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
 
   /// Attach measurement-only observability: `trace` (may be null) receives
   /// rollback episodes (LP, depth, cause) and fossil collections;
@@ -115,19 +156,6 @@ class ThreadKernel {
   static std::uint64_t commit_fingerprint(const Event& e);
 
  private:
-  struct ProcessedRecord {
-    Event event;
-    InlineVec<Event, 2> outputs;
-    InlineVec<std::byte, 48> pre_state;
-  };
-
-  struct Lp {
-    VirtualTime lvt = 0;
-    EventKey last_processed{};
-    std::vector<std::byte> state;
-    std::deque<ProcessedRecord> history;
-  };
-
   bool owns(LpId lp) const { return map_.worker_of(lp) == worker_; }
   Lp& lp_ref(LpId lp) {
     CAGVT_ASSERT(owns(lp));

@@ -1,0 +1,124 @@
+// Unit tests for the recovery subsystem (src/core/recovery): the bounded
+// checkpoint ring, the cluster-wide round planner (checkpoint cadence,
+// crash-triggered restores), and the checkpoint-assembly bookkeeping.
+// End-to-end crash/restore correctness is covered by fault_golden_test;
+// these pin the component contracts.
+#include <gtest/gtest.h>
+
+#include "core/recovery.hpp"
+#include "fault/fault_parse.hpp"
+#include "metasim/engine.hpp"
+
+namespace cagvt::core {
+namespace {
+
+ClusterCheckpoint& complete(ClusterCheckpoint& ckpt, int workers, int nodes) {
+  ckpt.workers_done = workers;
+  ckpt.nodes_done = nodes;
+  return ckpt;
+}
+
+TEST(CheckpointStoreTest, GetOrCreateAndLatestComplete) {
+  CheckpointStore store(/*capacity=*/4, /*total_workers=*/2, /*nodes=*/1);
+  ClusterCheckpoint& c0 = store.at_round(0, 0.0);
+  EXPECT_EQ(c0.workers.size(), 2u);
+  EXPECT_EQ(c0.transport.size(), 1u);
+  EXPECT_EQ(&store.at_round(0, 0.0), &c0);  // same round -> same slot
+  EXPECT_EQ(store.latest_complete(), nullptr);
+
+  complete(c0, 2, 1);
+  ASSERT_NE(store.latest_complete(), nullptr);
+  EXPECT_EQ(store.latest_complete()->round, 0u);
+
+  // An incomplete newer checkpoint is skipped over in favour of the newest
+  // COMPLETE one — a crash mid-assembly must not strand the restore.
+  store.at_round(3, 1.5);
+  EXPECT_EQ(store.latest_complete()->round, 0u);
+  complete(store.at_round(3, 1.5), 2, 1);
+  EXPECT_EQ(store.latest_complete()->round, 3u);
+}
+
+TEST(CheckpointStoreTest, RingEvictsOldestAtCapacity) {
+  CheckpointStore store(/*capacity=*/2, /*total_workers=*/1, /*nodes=*/1);
+  complete(store.at_round(0, 0.0), 1, 1);
+  complete(store.at_round(2, 1.0), 1, 1);
+  EXPECT_EQ(store.size(), 2u);
+  store.at_round(4, 2.0);  // evicts round 0
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.latest_complete()->round, 2u);
+  store.at_round(6, 3.0);  // evicts round 2 — no complete checkpoint left
+  EXPECT_EQ(store.latest_complete(), nullptr);
+}
+
+SimulationConfig two_node_config() {
+  SimulationConfig cfg;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 2;  // dedicated MPI -> 1 worker per node
+  return cfg;
+}
+
+TEST(RecoveryManagerTest, ChecksCheckpointCadence) {
+  SimulationConfig cfg = two_node_config();
+  cfg.ckpt_every = 3;
+  metasim::Engine engine;
+  RecoveryManager rm(cfg, engine, /*metrics=*/nullptr);
+
+  EXPECT_EQ(rm.plan_round(1), RoundPlan::kNormal);
+  EXPECT_EQ(rm.plan_round(2), RoundPlan::kNormal);
+  EXPECT_EQ(rm.plan_round(3), RoundPlan::kCheckpoint);
+  EXPECT_EQ(rm.plan_round(3), RoundPlan::kCheckpoint);  // cached
+  EXPECT_EQ(rm.plan_round(6), RoundPlan::kCheckpoint);
+}
+
+TEST(RecoveryManagerTest, CheckpointCompletesWhenAllPartsDeposited) {
+  SimulationConfig cfg = two_node_config();  // 2 workers, 2 nodes
+  metasim::Engine engine;
+  RecoveryManager rm(cfg, engine, /*metrics=*/nullptr);
+
+  rm.save_worker(0, 0.0, 0, {});
+  rm.save_worker(0, 0.0, 1, {});
+  rm.node_checkpoint_done(0, 0, net::TransportSnapshot(2));
+  EXPECT_EQ(rm.checkpoints_completed(), 0u);  // node 1 still missing
+  rm.node_checkpoint_done(1, 0, net::TransportSnapshot(2));
+  EXPECT_EQ(rm.checkpoints_completed(), 1u);
+}
+
+TEST(RecoveryManagerTest, CrashPlansRestoreOnceNodeIsBack) {
+  SimulationConfig cfg = two_node_config();
+  cfg.ckpt_every = 2;
+  // Down at 1ms, back at 1.5ms.
+  cfg.faults = fault::parse_fault_schedule("crash:node=1,t=1ms,down=500us");
+  metasim::Engine engine;
+  RecoveryManager rm(cfg, engine, /*metrics=*/nullptr);
+
+  // Initial checkpoint (what the restore will rewind to).
+  rm.save_worker(0, 0.0, 0, {});
+  rm.save_worker(0, 0.0, 1, {});
+  rm.node_checkpoint_done(0, 0, net::TransportSnapshot(2));
+  rm.node_checkpoint_done(1, 0, net::TransportSnapshot(2));
+
+  // Before the restart the crash is invisible to the planner.
+  EXPECT_EQ(rm.plan_round(1), RoundPlan::kNormal);
+  EXPECT_EQ(rm.restore_epoch(), 0u);
+
+  engine.call_at(2'000'000, [&] {  // 2ms: node 1 restarted 0.5ms ago
+    EXPECT_EQ(rm.plan_round(3), RoundPlan::kRestore);
+    EXPECT_EQ(rm.restore_epoch(), 1u);
+    EXPECT_EQ(rm.restore_source().round, 0u);
+
+    rm.node_restore_complete(0, 3);
+    EXPECT_EQ(rm.restores_completed(), 0u);
+    rm.node_restore_complete(1, 3);
+    EXPECT_EQ(rm.restores_completed(), 1u);
+    // Failure onset was 1ms, cluster restored at 2ms: 1ms of recovery.
+    EXPECT_EQ(rm.recovery_time_total(), 1'000'000);
+
+    // The crash is handled exactly once; later rounds revert to cadence.
+    EXPECT_EQ(rm.plan_round(4), RoundPlan::kCheckpoint);
+    EXPECT_EQ(rm.plan_round(5), RoundPlan::kNormal);
+  });
+  engine.run(metasim::seconds(1.0));
+}
+
+}  // namespace
+}  // namespace cagvt::core

@@ -135,6 +135,53 @@ TEST(FaultDeterminismTest, NoScheduleMeansNoPerturbation) {
   EXPECT_EQ(obs::to_trace_csv(*a.trace), obs::to_trace_csv(*b.trace));
 }
 
+TEST(FaultDeterminismTest, RecoveryRunsReplayByteIdentically) {
+  // The strongest recovery guarantee: a run that loses frames, retransmits,
+  // crashes a node, and rewinds to a checkpoint still replays byte-for-byte
+  // — retransmit timing (counter-RNG jitter), checkpoint rounds, and the
+  // coordinated restore are all deterministic.
+  SimulationConfig cfg = fault_config();
+  cfg.ckpt_every = 3;
+  cfg.faults = fault::parse_fault_schedule(
+      "loss:src=all,dst=all,rate=0.2;crash:node=1,t=500us,down=300us");
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const models::PholdModel model(map, phold_params());
+
+  Simulation sim(cfg, model);
+  const SimulationResult a = sim.run(120.0);
+  const SimulationResult b = sim.run(120.0);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+
+  // The interesting paths actually ran.
+  EXPECT_GT(a.frames_dropped, 0u);
+  EXPECT_GT(a.retransmits, 0u);
+  EXPECT_GE(a.checkpoints, 1u);
+  EXPECT_GE(a.restores, 1u);
+
+  EXPECT_EQ(a.events.committed, b.events.committed);
+  EXPECT_EQ(a.committed_fingerprint, b.committed_fingerprint);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.gvt_trace, b.gvt_trace);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.duplicates_dropped, b.duplicates_dropped);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_DOUBLE_EQ(a.recovery_seconds, b.recovery_seconds);
+
+  // Byte-identical traces INCLUDING the retransmit / ckpt_write / crash /
+  // restore records the recovery machinery emits.
+  ASSERT_TRUE(a.trace != nullptr);
+  const std::string csv = obs::to_trace_csv(*a.trace);
+  EXPECT_NE(csv.find("retransmit"), std::string::npos);
+  EXPECT_NE(csv.find("ckpt_write"), std::string::npos);
+  EXPECT_NE(csv.find("crash"), std::string::npos);
+  EXPECT_NE(csv.find("restore"), std::string::npos);
+  EXPECT_EQ(csv, obs::to_trace_csv(*b.trace));
+}
+
 TEST(FaultDeterminismTest, ApplyFaultOptionsParsesFlags) {
   SimulationConfig cfg = fault_config();
   const char* argv[] = {"prog", "--fault=straggler:node=1,slow=2x", "--fault-seed=42"};
@@ -147,9 +194,25 @@ TEST(FaultDeterminismTest, ApplyFaultOptionsParsesFlags) {
   // cfg.validate() accepts the parsed schedule against the cluster shape.
   cfg.validate();
 
-  // Out-of-range targets are rejected at validate time with the spec index.
+  // Out-of-range targets are rejected at validate time — with a message
+  // naming the offending spec and the valid node range, not a silent no-op
+  // fault that never fires.
   SimulationConfig bad = fault_config();
-  bad.faults = fault::parse_fault_schedule("straggler:node=7,slow=2x");
+  bad.faults = fault::parse_fault_schedule("straggler:node=99,slow=2x");
+  try {
+    bad.validate();
+    FAIL() << "out-of-range fault node must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("node=99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("outside the cluster"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("straggler"), std::string::npos) << msg;
+  }
+
+  // Same for crash targets and loss endpoints.
+  bad.faults = fault::parse_fault_schedule("crash:node=5,t=1ms,down=1ms");
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.faults = fault::parse_fault_schedule("loss:src=0,dst=9,rate=0.5");
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 

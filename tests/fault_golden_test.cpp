@@ -6,6 +6,7 @@
 // machinery (ordering, annihilation, fossil collection).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "core/simulation.hpp"
@@ -19,6 +20,14 @@ namespace {
 struct PerturbedCase {
   const char* name;
   const char* schedule;
+  /// GVT-aligned checkpoint period (0 = initial checkpoint only).
+  int ckpt_every = 0;
+  /// Schedule contains a crash that must actually trigger a restore.
+  bool expect_restore = false;
+  /// Schedule has loss specs: the run must exercise the retransmit path
+  /// (asserted across the three algorithms combined — a single algorithm's
+  /// traffic may dodge a sparse loss window).
+  bool expect_drops = false;
 };
 
 class PerturbedGolden : public ::testing::TestWithParam<PerturbedCase> {};
@@ -32,6 +41,7 @@ TEST_P(PerturbedGolden, AllAlgorithmsMatchSequentialOracle) {
   cfg.gvt_interval = 6;
   cfg.seed = 31;
   cfg.faults = fault::parse_fault_schedule(GetParam().schedule);
+  cfg.ckpt_every = GetParam().ckpt_every;
 
   const pdes::LpMap map = Simulation::make_map(cfg);
   models::PholdParams params;
@@ -44,6 +54,7 @@ TEST_P(PerturbedGolden, AllAlgorithmsMatchSequentialOracle) {
   ref.run();
   ASSERT_GT(ref.committed(), 100u);
 
+  std::uint64_t total_drops = 0;
   for (const GvtKind kind :
        {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
     cfg.gvt = kind;
@@ -54,6 +65,13 @@ TEST_P(PerturbedGolden, AllAlgorithmsMatchSequentialOracle) {
         << GetParam().name << "/" << to_string(kind);
     EXPECT_EQ(r.committed_fingerprint, ref.fingerprint())
         << GetParam().name << "/" << to_string(kind);
+    if (GetParam().expect_restore) {
+      EXPECT_GE(r.restores, 1u) << GetParam().name << "/" << to_string(kind);
+    }
+    total_drops += r.frames_dropped;
+  }
+  if (GetParam().expect_drops) {
+    EXPECT_GT(total_drops, 0u) << GetParam().name;
   }
 }
 
@@ -69,7 +87,24 @@ INSTANTIATE_TEST_SUITE_P(
         PerturbedCase{"everything",
                       "straggler:node=1,t=50us..1ms,slow=4x;"
                       "link:src=0,dst=1,latency=2x,jitter=1us;"
-                      "mpistall:node=0,t=200us..3ms,stall=100us,period=600us"}),
+                      "mpistall:node=0,t=200us..3ms,stall=100us,period=600us"},
+        // Loss drops frames on the wire; the reliable transport's
+        // retransmission must deliver the exact same committed set.
+        PerturbedCase{"loss_one_link",
+                      "loss:src=0,dst=1,rate=0.25,class=data",
+                      /*ckpt_every=*/0, /*expect_restore=*/false, /*expect_drops=*/true},
+        PerturbedCase{"loss_all_links",
+                      "loss:src=all,dst=all,rate=0.15",
+                      /*ckpt_every=*/0, /*expect_restore=*/false, /*expect_drops=*/true},
+        // A crash rewinds the cluster to the last GVT-aligned checkpoint;
+        // the replay must reconverge on the oracle's committed set.
+        PerturbedCase{"crash_restore",
+                      "crash:node=1,t=500us,down=300us",
+                      /*ckpt_every=*/3, /*expect_restore=*/true},
+        // Recovery traffic itself rides lossy links.
+        PerturbedCase{"crash_lossy",
+                      "loss:src=all,dst=all,rate=0.1;crash:node=1,t=500us,down=300us",
+                      /*ckpt_every=*/3, /*expect_restore=*/true, /*expect_drops=*/true}),
     [](const ::testing::TestParamInfo<PerturbedCase>& info) { return info.param.name; });
 
 }  // namespace
