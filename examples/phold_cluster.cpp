@@ -11,6 +11,11 @@
 //   --end T            virtual end time (50)
 //   --gvt NAME         barrier | mattern | ca-gvt (ca-gvt)
 //   --mpi NAME         dedicated | combined | everywhere (dedicated)
+//   --backend NAME     coro | threads (coro). 'coro' is the deterministic
+//                      coroutine substrate with simulated time; 'threads'
+//                      maps every worker onto a real OS thread (committed
+//                      results are identical, timing metrics are real and
+//                      faults/checkpoints/tracing are unavailable)
 //   --interval N       GVT interval in loop iterations (12)
 //   --threshold X      CA-GVT efficiency threshold (0.8)
 //   --batch N          events per worker-loop iteration (4)
@@ -39,6 +44,7 @@
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
+#include "exec/backend.hpp"
 #include "fault/fault_parse.hpp"
 #include "models/registry.hpp"
 #include "obs/export.hpp"
@@ -75,6 +81,7 @@ int main(int argc, char** argv) try {
   cfg.obs.trace = !trace_out.empty() || !trace_csv.empty();
   cfg.obs.metrics = !metrics_out.empty();
 
+  const exec::BackendKind backend = exec::backend_from(opts.get_string("backend", "coro"));
   const std::string model_name = opts.get_string("model", "phold");
   const pdes::LpMap map = core::Simulation::make_map(cfg);
   const auto model = models::make_model(model_name, opts, map, cfg.end_vt);
@@ -86,21 +93,25 @@ int main(int argc, char** argv) try {
   std::printf("cluster : %d nodes x %d threads (%s MPI), %d LPs/worker, %d total LPs\n",
               cfg.nodes, cfg.threads_per_node, std::string(to_string(cfg.mpi)).c_str(),
               cfg.lps_per_worker, map.total_lps());
-  std::printf("run     : model=%s gvt=%s interval=%d end_vt=%.1f seed=%llu\n",
-              model_name.c_str(), std::string(to_string(cfg.gvt)).c_str(), cfg.gvt_interval,
-              cfg.end_vt, static_cast<unsigned long long>(cfg.seed));
+  std::printf("run     : model=%s gvt=%s backend=%s interval=%d end_vt=%.1f seed=%llu\n",
+              model_name.c_str(), std::string(to_string(cfg.gvt)).c_str(),
+              std::string(to_string(backend)).c_str(), cfg.gvt_interval, cfg.end_vt,
+              static_cast<unsigned long long>(cfg.seed));
   for (const auto& spec : cfg.faults)
     std::printf("fault   : %s\n", fault::describe(spec).c_str());
 
-  core::Simulation sim(cfg, *model);
-  const core::SimulationResult r = sim.run();
+  const core::SimulationResult r = exec::run_simulation(cfg, *model, backend);
 
   std::printf("\n-- results ----------------------------------------------------\n");
   std::printf("committed events    : %llu\n",
               static_cast<unsigned long long>(r.events.committed));
+  std::printf("committed fp / state: %016llx / %016llx\n",
+              static_cast<unsigned long long>(r.committed_fingerprint),
+              static_cast<unsigned long long>(r.state_hash));
   std::printf("committed rate      : %s events/s\n", format_si(r.committed_rate).c_str());
   std::printf("efficiency          : %.2f%%\n", r.efficiency * 100);
-  std::printf("wall clock          : %.4f s (simulated)\n", r.wall_seconds);
+  std::printf("wall clock          : %.4f s (%s)\n", r.wall_seconds,
+              backend == exec::BackendKind::kThreads ? "real" : "simulated");
   std::printf("processed / rolled  : %llu / %llu (%llu rollback episodes)\n",
               static_cast<unsigned long long>(r.events.processed),
               static_cast<unsigned long long>(r.events.rolled_back),

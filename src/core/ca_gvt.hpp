@@ -32,8 +32,12 @@ class CaGvt final : public MatternGvt {
 
  protected:
   bool want_sync(double efficiency, std::uint64_t queue_peak) const override {
-    return efficiency < node_.cfg().ca_efficiency_threshold ||
-           queue_peak > static_cast<std::uint64_t>(node_.cfg().ca_queue_threshold);
+    // The trigger arithmetic is shared with the real-thread fence
+    // (exec/gvt_fence) via core/gvt_policy.hpp.
+    const CaTriggerPolicy policy{
+        node_.cfg().ca_efficiency_threshold,
+        static_cast<std::uint64_t>(node_.cfg().ca_queue_threshold)};
+    return policy.want_sync(efficiency, queue_peak);
   }
   metasim::SimTime contribute_overhead() const override {
     return node_.cfg().cluster.ca_round_overhead;

@@ -1,0 +1,52 @@
+// Adaptive-GVT trigger policy, shared between execution backends.
+//
+// CA-GVT's decision of WHEN to synchronize is pure arithmetic over two
+// measurements (the smoothed global efficiency and the peak MPI queue
+// occupancy), independent of HOW the round is executed — cooperative
+// coroutine barriers (core/mattern_gvt) or a real-thread atomic fence
+// (exec/gvt_fence). Both backends share this header so an adaptivity
+// change cannot silently diverge between them, which is exactly what the
+// differential oracle tests would then flag.
+#pragma once
+
+#include <cstdint>
+
+namespace cagvt::core {
+
+/// Exponentially smoothed estimate of the global simulation efficiency
+/// (committed / processed events per GVT-round window). The raw window
+/// reading recovers the instant one synchronous round cleans the system
+/// up, which would flip the SyncFlag back and forth every round; smoothing
+/// reproduces the paper's behaviour — synchrony persists for a run of
+/// rounds until the measured efficiency climbs back through the threshold.
+class EfficiencyEstimator {
+ public:
+  /// Fold in one round's decided-event window. No decided events = no
+  /// evidence; the current estimate is kept.
+  void update(std::uint64_t committed, std::uint64_t processed) {
+    if (processed == 0) return;
+    const double window =
+        static_cast<double>(committed) / static_cast<double>(processed);
+    value_ = kAlpha * window + (1.0 - kAlpha) * value_;
+  }
+
+  double value() const { return value_; }
+
+ private:
+  static constexpr double kAlpha = 0.3;
+  double value_ = 1.0;  // optimistic start: no synchrony until measured
+};
+
+/// CA-GVT's two synchronization triggers (paper Sections 5 and 8):
+/// efficiency below the threshold, or peak MPI queue occupancy above the
+/// bound since the last round.
+struct CaTriggerPolicy {
+  double efficiency_threshold = 0.80;
+  std::uint64_t queue_threshold = 16;
+
+  bool want_sync(double efficiency, std::uint64_t queue_peak) const {
+    return efficiency < efficiency_threshold || queue_peak > queue_threshold;
+  }
+};
+
+}  // namespace cagvt::core

@@ -77,30 +77,22 @@ Process MatternGvt::send_token(MatternToken token) {
 
 Process MatternGvt::complete_collect(MatternToken token) {
   token.gvt = std::min(token.min_lvt, token.min_red);
-  // Exponentially smoothed efficiency: the raw window reading recovers the
-  // instant one synchronous round cleans the system up, which would flip
-  // the SyncFlag back and forth every round. Smoothing reproduces the
-  // paper's behaviour — synchrony persists for a run of rounds until the
-  // measured efficiency climbs back through the threshold. (No decided
-  // events yet = no evidence; keep the current estimate.)
-  if (token.processed > 0) {
-    const double window =
-        static_cast<double>(token.committed) / static_cast<double>(token.processed);
-    constexpr double kAlpha = 0.3;
-    last_efficiency_ = kAlpha * window + (1.0 - kAlpha) * last_efficiency_;
-  }
-  token.sync_next_round = want_sync(last_efficiency_, token.queue_peak);
-  node_.trace().gvt_computed(node_.rank(), token.round, token.gvt, last_efficiency_,
+  // The EWMA smoothing (and its rationale) lives in core/gvt_policy.hpp,
+  // shared with the real-thread fence so both backends adapt identically.
+  efficiency_.update(token.committed, token.processed);
+  const double last_efficiency = efficiency_.value();
+  token.sync_next_round = want_sync(last_efficiency, token.queue_peak);
+  node_.trace().gvt_computed(node_.rank(), token.round, token.gvt, last_efficiency,
                              token.queue_peak);
   if (token.sync_next_round != sync_round_active_) {
     // CA-GVT flips mode for the next round; the smoothed efficiency and the
     // round's queue peak are exactly the measurements that triggered it.
     node_.trace().mode_switch(node_.rank(), token.round, token.sync_next_round,
-                              last_efficiency_, token.queue_peak);
+                              last_efficiency, token.queue_peak);
     node_.metrics().counter("gvt.mode_switches").inc();
   }
   CAGVT_LOG_DEBUG("gvt round %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu sync_next=%d",
-                  static_cast<unsigned long long>(token.round), token.gvt, last_efficiency_,
+                  static_cast<unsigned long long>(token.round), token.gvt, last_efficiency,
                   static_cast<unsigned long long>(token.queue_peak),
                   token.sync_next_round ? 1 : 0);
   token.phase = MatternToken::Phase::kBroadcast;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include "core/gvt.hpp"
+#include "core/gvt_policy.hpp"
 #include "core/node_runtime.hpp"
 
 namespace cagvt::core {
@@ -83,7 +84,7 @@ class MatternGvt : public GvtAlgorithm {
 
   // Introspection (tests, experiment reports).
   double last_gvt() const { return gvt_value_; }
-  double last_global_efficiency() const { return last_efficiency_; }
+  double last_global_efficiency() const { return efficiency_.value(); }
   std::uint64_t rounds_started() const { return round_; }
 
  protected:
@@ -153,7 +154,7 @@ class MatternGvt : public GvtAlgorithm {
   bool pending_sync_ = false;
   bool sync_flag_ = false;          // SyncFlag in effect for the next round
   bool sync_round_active_ = false;  // SyncFlag snapshot for the current one
-  double last_efficiency_ = 1.0;  // EWMA of per-round decided efficiency
+  EfficiencyEstimator efficiency_;  // EWMA of per-round decided efficiency
 
   /// What this round does besides GVT (checkpoint / restore). Checkpoint
   /// and restore rounds are forced synchronous: the post-fossil barrier is

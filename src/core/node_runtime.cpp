@@ -424,6 +424,12 @@ std::uint64_t NodeRuntime::committed_fingerprint() const {
   return total;
 }
 
+std::uint64_t NodeRuntime::state_hash() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->kernel.state_hash();
+  return total;
+}
+
 SimTime NodeRuntime::lock_wait_time() const {
   SimTime total = mpi_lock_.total_wait_time() + mpi_outbox_.mutex.total_wait_time();
   for (const auto& worker : workers_) {

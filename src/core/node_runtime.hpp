@@ -256,6 +256,9 @@ class NodeRuntime {
 
   pdes::KernelStats aggregate_kernel_stats() const;
   std::uint64_t committed_fingerprint() const;
+  /// Order-independent hash of the node's final LP states (see
+  /// ThreadKernel::state_hash); meaningful after final_commit().
+  std::uint64_t state_hash() const;
   std::uint64_t regional_msgs() const { return regional_msgs_; }
   std::uint64_t remote_msgs() const { return remote_msgs_; }
   metasim::SimTime lock_wait_time() const;

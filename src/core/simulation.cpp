@@ -90,6 +90,7 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     for (auto& worker : node->workers()) worker->kernel.final_commit();
     result.events += node->aggregate_kernel_stats();
     result.committed_fingerprint += node->committed_fingerprint();
+    result.state_hash += node->state_hash();
     result.regional_msgs += node->regional_msgs();
     result.remote_msgs += node->remote_msgs();
     result.gvt_block_seconds += metasim::to_seconds(node->gvt_block_time());

@@ -72,6 +72,11 @@ struct SimulationResult {
   /// Order-independent fingerprint of the committed event set; equal
   /// across any two correct runs of the same workload (see seqref).
   std::uint64_t committed_fingerprint = 0;
+  /// Order-independent hash of the final LP states after every event was
+  /// committed. Like the fingerprint it is backend-, algorithm- and
+  /// schedule-independent: the differential harness diffs both against the
+  /// coroutine oracle and the sequential reference.
+  std::uint64_t state_hash = 0;
   /// GVT values in round order (node 0's trace).
   std::vector<double> gvt_trace;
 

@@ -1,0 +1,255 @@
+#include "exec/thread_engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace cagvt::exec {
+
+using core::GvtKind;
+using core::MpiPlacement;
+
+ThreadEngine::ThreadEngine(const core::SimulationConfig& cfg, const pdes::Model& model)
+    : cfg_(cfg),
+      model_(model),
+      map_(cfg.nodes, cfg.workers_per_node(), cfg.lps_per_worker) {
+  cfg_.validate();
+  if (!cfg_.faults.empty())
+    throw std::invalid_argument(
+        "fault injection is driven by the simulated clock and is not supported "
+        "with --backend=threads");
+  if (cfg_.ckpt_every > 0)
+    throw std::invalid_argument(
+        "GVT-aligned checkpoints are not supported with --backend=threads");
+  if (cfg_.obs.trace || cfg_.obs.metrics)
+    throw std::invalid_argument(
+        "structured tracing/metrics are stamped with the simulated clock and "
+        "are not supported with --backend=threads");
+
+  const pdes::KernelConfig kcfg{cfg_.end_vt, cfg_.seed};
+  workers_.reserve(static_cast<std::size_t>(map_.total_workers()));
+  for (int w = 0; w < map_.total_workers(); ++w)
+    workers_.push_back(std::make_unique<Worker>(model_, map_, w, kcfg));
+  if (uses_outbox()) {
+    outboxes_.reserve(static_cast<std::size_t>(cfg_.nodes));
+    for (int n = 0; n < cfg_.nodes; ++n)
+      outboxes_.push_back(std::make_unique<MpscQueue<pdes::Event>>());
+  }
+
+  const int parties =
+      map_.total_workers() + (cfg_.has_dedicated_mpi() ? cfg_.nodes : 0);
+  fence_ = std::make_unique<GvtFence>(
+      parties, cfg_.end_vt, in_flight_,
+      [this] { return std::chrono::steady_clock::now() >= deadline_; });
+}
+
+void ThreadEngine::route_externals(Worker& self, int src_node,
+                                   const std::vector<pdes::Event>& events) {
+  for (const pdes::Event& e : events) {
+    const int dst_worker = map_.worker_of(e.dst_lp);
+    const int dst_node = map_.node_of_worker(dst_worker);
+    // Increment strictly before the push: a consumer that already drained
+    // the message must find the counter accounted for.
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (dst_node == src_node) {
+      ++self.regional_msgs;
+      workers_[static_cast<std::size_t>(dst_worker)]->inbox.push(e);
+    } else {
+      ++self.remote_msgs;
+      if (uses_outbox()) {
+        outboxes_[static_cast<std::size_t>(src_node)]->push(e);
+      } else {
+        // kEverywhere: the worker performs its own "MPI" delivery.
+        workers_[static_cast<std::size_t>(dst_worker)]->inbox.push(e);
+      }
+    }
+  }
+}
+
+void ThreadEngine::drain_inbox(Worker& self, int src_node) {
+  if (self.inbox.approx_empty()) return;
+  self.drain_buf.clear();
+  self.inbox.drain(self.drain_buf);
+  for (const pdes::Event& e : self.drain_buf) {
+    pdes::Outcome out = self.kernel.deposit(e);
+    // Route the deposit's fallout (anti-message cascades) BEFORE retiring
+    // the consumed message, so in_flight_ never reaches zero while any
+    // causal successor is still unpushed.
+    route_externals(self, src_node, out.external);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  self.drain_buf.clear();
+}
+
+void ThreadEngine::forward_outbox(int node, std::vector<pdes::Event>& scratch) {
+  auto& box = *outboxes_[static_cast<std::size_t>(node)];
+  if (box.approx_empty()) return;
+  scratch.clear();
+  box.drain(scratch);
+  for (const pdes::Event& e : scratch)
+    workers_[static_cast<std::size_t>(map_.worker_of(e.dst_lp))]->inbox.push(e);
+  scratch.clear();
+}
+
+void ThreadEngine::maybe_announce(Worker& self, int w) {
+  const auto interval = static_cast<std::uint64_t>(cfg_.gvt_interval);
+  switch (cfg_.gvt) {
+    case GvtKind::kBarrier:
+      // Synchronous discipline: every worker requests a round on its own
+      // cadence; the first requester pulls the whole fleet into the fence,
+      // like Barrier GVT's collective entry.
+      if (self.iters_since_round >= interval) fence_->announce();
+      break;
+    case GvtKind::kMattern:
+      // Asynchronous discipline: one initiator (global worker 0) starts
+      // rounds on its cadence, everyone else only answers the announce.
+      if (w == 0 && self.iters_since_round >= interval) fence_->announce();
+      break;
+    case GvtKind::kControlledAsync: {
+      // Mattern cadence plus the paper's control triggers, with the shared
+      // policy arithmetic from core/gvt_policy.hpp. The queue-occupancy
+      // trigger fires from ANY worker the moment the in-flight backlog
+      // exceeds the bound; the efficiency trigger shortens the initiator's
+      // cadence while the smoothed estimate is below the threshold.
+      const core::CaTriggerPolicy policy{
+          cfg_.ca_efficiency_threshold,
+          static_cast<std::uint64_t>(cfg_.ca_queue_threshold)};
+      const auto backlog = in_flight_.load(std::memory_order_relaxed);
+      if (backlog > 0 && policy.want_sync(1.0, static_cast<std::uint64_t>(backlog))) {
+        fence_->announce(/*control=*/true);
+        break;
+      }
+      if (w != 0) break;
+      const bool degraded = policy.want_sync(fence_->efficiency(), 0);
+      const std::uint64_t effective =
+          degraded ? std::max<std::uint64_t>(1, interval / 4) : interval;
+      if (self.iters_since_round >= effective) fence_->announce(/*control=*/degraded);
+      break;
+    }
+  }
+}
+
+FenceContribution ThreadEngine::contribute(Worker& self) {
+  FenceContribution c;
+  c.min_ts = self.kernel.local_min_ts();
+  const auto& ks = self.kernel.stats();
+  c.committed_delta = ks.committed - self.last_committed;
+  c.processed_delta =
+      c.committed_delta + (ks.rolled_back - self.last_rolled_back);
+  self.last_committed = ks.committed;
+  self.last_rolled_back = ks.rolled_back;
+  return c;
+}
+
+void ThreadEngine::worker_main(int w) {
+  Worker& self = *workers_[static_cast<std::size_t>(w)];
+  self.kernel.init();
+  const int node = map_.node_of_worker(w);
+  const bool combined_duty =
+      cfg_.mpi == MpiPlacement::kCombined && map_.worker_in_node_of(w) == 0;
+  const auto poll_period = static_cast<std::uint64_t>(cfg_.combined_mpi_poll_period);
+
+  for (;;) {
+    drain_inbox(self, node);
+    for (int i = 0; i < cfg_.batch; ++i) {
+      pdes::Outcome out = self.kernel.process_next();
+      if (!out.processed) break;
+      route_externals(self, node, out.external);
+    }
+    ++self.iterations;
+    ++self.iters_since_round;
+    if (combined_duty && self.iterations % poll_period == 0)
+      forward_outbox(node, self.drain_buf);
+
+    maybe_announce(self, w);
+    if (fence_->announced()) {
+      const FenceRound round = fence_->run_round(
+          /*party=*/w,
+          [&] {
+            drain_inbox(self, node);
+            if (combined_duty) forward_outbox(node, self.drain_buf);
+          },
+          [&] { return contribute(self); },
+          [&](double gvt) { self.kernel.fossil_collect(gvt); });
+      self.iters_since_round = 0;
+      if (round.stop) return;
+    } else if (self.kernel.idle() && self.inbox.approx_empty()) {
+      std::this_thread::yield();  // out of work until a message or a round
+    }
+  }
+}
+
+void ThreadEngine::agent_main(int node) {
+  const int party = map_.total_workers() + node;
+  std::vector<pdes::Event> scratch;
+  for (;;) {
+    forward_outbox(node, scratch);
+    if (fence_->announced()) {
+      const FenceRound round = fence_->run_round(
+          party, [&] { forward_outbox(node, scratch); },
+          [] { return FenceContribution{}; }, [](double) {});
+      if (round.stop) return;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+core::SimulationResult ThreadEngine::run(double max_wall_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  deadline_ = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(max_wall_seconds));
+
+  // A CAGVT_CHECK failure aborts the process outright; any other exception
+  // escaping a worker is reported before terminating, because a dead party
+  // would leave the rest of the fleet deadlocked inside the fence.
+  const auto guarded = [](auto&& fn) {
+    return [fn = std::forward<decltype(fn)>(fn)]() mutable {
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "thread backend worker died: %s\n", e.what());
+        std::abort();
+      }
+    };
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size() +
+                  (cfg_.has_dedicated_mpi() ? static_cast<std::size_t>(cfg_.nodes) : 0));
+  for (int w = 0; w < map_.total_workers(); ++w)
+    threads.emplace_back(guarded([this, w] { worker_main(w); }));
+  if (cfg_.has_dedicated_mpi())
+    for (int n = 0; n < cfg_.nodes; ++n)
+      threads.emplace_back(guarded([this, n] { agent_main(n); }));
+  for (std::thread& t : threads) t.join();
+
+  core::SimulationResult result;
+  result.completed = fence_->completed();
+  for (auto& worker : workers_) {
+    worker->kernel.final_commit();
+    result.events += worker->kernel.stats();
+    result.committed_fingerprint += worker->kernel.committed_fingerprint();
+    result.state_hash += worker->kernel.state_hash();
+    result.regional_msgs += worker->regional_msgs;
+    result.remote_msgs += worker->remote_msgs;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.committed_rate =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.events.committed) / result.wall_seconds
+          : 0;
+  result.efficiency = result.events.efficiency();
+  result.final_gvt = fence_->last_gvt();
+  result.gvt_rounds = fence_->rounds();
+  result.sync_rounds = fence_->sync_rounds();
+  result.gvt_trace = fence_->gvt_trace();
+  result.last_global_efficiency = fence_->efficiency();
+  return result;
+}
+
+}  // namespace cagvt::exec

@@ -12,12 +12,14 @@ Engine::~Engine() {
 }
 
 void Engine::call_at(SimTime when, std::function<void()> fn) {
+  assert_owner();
   CAGVT_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
   queue_.push(Entry{when, seq_++, std::move(fn), /*daemon=*/false});
   ++live_count_;
 }
 
 void Engine::call_at_daemon(SimTime when, std::function<void()> fn) {
+  assert_owner();
   CAGVT_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
   queue_.push(Entry{when, seq_++, std::move(fn), /*daemon=*/true});
 }
@@ -27,6 +29,7 @@ void Engine::resume_at(SimTime when, std::coroutine_handle<> handle) {
 }
 
 SimTime Engine::run(SimTime until) {
+  assert_owner();
   stopped_ = false;
   // Stop as soon as only daemon events remain: they are instrumentation,
   // and dispatching them would advance the clock past the last real work.

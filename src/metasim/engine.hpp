@@ -4,6 +4,18 @@
 // given program produces bit-identical schedules on every run. Continuations
 // are either coroutine resumptions (simulated threads — see process.hpp) or
 // plain callbacks (e.g. network message delivery).
+//
+// Concurrency contract: an Engine and everything scheduled on it belong to
+// exactly ONE OS thread — the one that constructed it. "Parallelism" on
+// this substrate is cooperative: simulated threads interleave at co_await
+// yield points, and the GVT algorithms cut consistent states by counting
+// those cooperative hand-offs. The real-thread execution backend
+// (src/exec) deliberately does NOT reuse this engine: it replaces yield
+// points with an atomic GVT fence over std::barrier, and the differential
+// tests (tests/exec_differential_test.cpp) check the two executions commit
+// identical results. The owner-thread assertions below turn any accidental
+// cross-thread use of the cooperative engine into an immediate failure
+// instead of a data race.
 #pragma once
 
 #include <coroutine>
@@ -11,6 +23,7 @@
 #include <exception>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "metasim/time.hpp"
@@ -62,6 +75,11 @@ class Engine {
   /// rethrows them.
   void set_pending_exception(std::exception_ptr e) { pending_exception_ = e; }
 
+  /// Debug-build guard for the single-thread contract above: scheduling
+  /// into or running an engine from a thread other than its constructor's
+  /// is a bug (use the src/exec thread backend for real parallelism).
+  void assert_owner() const { CAGVT_ASSERT(std::this_thread::get_id() == owner_); }
+
  private:
   struct Entry {
     SimTime when;
@@ -76,6 +94,7 @@ class Engine {
     }
   };
 
+  std::thread::id owner_ = std::this_thread::get_id();
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -131,6 +131,16 @@ inline DelayAwaiter delay(SimTime amount) {
 
 /// co_await yield(): reschedule at the current time, behind already-queued
 /// continuations.
+///
+/// These co_await points are the cooperative backend's ONLY interleaving
+/// mechanism: between two of them a simulated thread runs exclusively, so
+/// code on this substrate may treat that span as atomic. The real-thread
+/// backend (src/exec) has no such spans — workers run preemptively and
+/// synchronize through mutex-guarded inboxes plus an atomic GVT fence
+/// (exec/gvt_fence.hpp) instead of yield-point hand-offs. Anything that
+/// relies on yield-point atomicity must therefore stay out of code shared
+/// with the thread backend (the pdes kernel is shared and single-owner;
+/// the core worker loops are cooperative-only).
 inline DelayAwaiter yield() { return DelayAwaiter{0}; }
 
 }  // namespace cagvt::metasim

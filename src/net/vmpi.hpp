@@ -25,6 +25,15 @@
 // reliable — loss applies to point-to-point traffic only. Without loss or
 // crash specs the reliable machinery is never engaged and the fabric
 // behaves bit-identically to the fire-and-forget original.
+//
+// Concurrency contract: the fabric, its mailboxes, and every collective
+// live entirely inside one metasim::Engine and therefore on one OS thread —
+// "per-rank inbox" is a simulated mailbox, not a concurrent queue, and
+// needs no locking. The real-thread backend (src/exec) does NOT reuse this
+// layer: it replaces the fabric with shared-memory MPSC inboxes
+// (exec/mpsc_queue.hpp) and the collectives with a std::barrier-based GVT
+// fence, preserving the same per-(src,dst) FIFO delivery guarantee that
+// the kernel's anti-message annihilation depends on.
 #pragma once
 
 #include <algorithm>

@@ -39,6 +39,22 @@ std::uint64_t ThreadKernel::commit_fingerprint(const Event& e) {
                       static_cast<std::uint64_t>(e.dst_lp));
 }
 
+std::uint64_t ThreadKernel::lp_state_hash(LpId lp, std::span<const std::byte> state) {
+  std::uint64_t h = hash_combine(static_cast<std::uint64_t>(lp),
+                                 static_cast<std::uint64_t>(state.size()));
+  for (const std::byte b : state) h = hash_combine(h, static_cast<std::uint64_t>(b));
+  return h;
+}
+
+std::uint64_t ThreadKernel::state_hash() const {
+  std::uint64_t total = 0;
+  for (int k = 0; k < map_.lps_per_worker(); ++k) {
+    const LpId lp = map_.lp_of(worker_, k);
+    total += lp_state_hash(lp, lp_state(lp));
+  }
+  return total;
+}
+
 Outcome ThreadKernel::deposit(const Event& event) {
   CAGVT_CHECK_MSG(owns(event.dst_lp), "message routed to the wrong kernel");
   Outcome out;

@@ -139,6 +139,15 @@ class ThreadKernel {
   /// produce equal fingerprints.
   std::uint64_t committed_fingerprint() const { return committed_fingerprint_; }
 
+  /// Order-independent hash over this kernel's final LP states. After
+  /// final_commit() it depends only on the committed event set (events past
+  /// end_vt are never executed), so — like committed_fingerprint() — it must
+  /// be equal across execution backends, GVT algorithms, and the sequential
+  /// reference. The differential oracle tests compare both: the fingerprint
+  /// proves the same events committed, the state hash proves they left the
+  /// LPs in the same state.
+  std::uint64_t state_hash() const;
+
   int worker() const { return worker_; }
   int lp_count() const { return map_.lps_per_worker(); }
 
@@ -154,6 +163,10 @@ class ThreadKernel {
   /// Fingerprint contribution of one committed event (shared with the
   /// sequential reference simulator).
   static std::uint64_t commit_fingerprint(const Event& e);
+
+  /// Hash contribution of one LP's state block (shared with the sequential
+  /// reference simulator so the two sides stay comparable).
+  static std::uint64_t lp_state_hash(LpId lp, std::span<const std::byte> state);
 
  private:
   bool owns(LpId lp) const { return map_.worker_of(lp) == worker_; }

@@ -35,4 +35,11 @@ void SequentialReference::run() {
   }
 }
 
+std::uint64_t SequentialReference::state_hash() const {
+  std::uint64_t total = 0;
+  for (LpId lp = 0; lp < map_.total_lps(); ++lp)
+    total += ThreadKernel::lp_state_hash(lp, lp_state(lp));
+  return total;
+}
+
 }  // namespace cagvt::pdes

@@ -28,6 +28,9 @@ class SequentialReference {
 
   std::uint64_t committed() const { return committed_; }
   std::uint64_t fingerprint() const { return fingerprint_; }
+  /// Order-independent hash of all final LP states; the oracle value the
+  /// Time Warp kernels' aggregated state_hash() must reproduce.
+  std::uint64_t state_hash() const;
   VirtualTime final_lvt(LpId lp) const { return lvts_[static_cast<std::size_t>(lp)]; }
   std::span<const std::byte> lp_state(LpId lp) const {
     const auto& s = states_[static_cast<std::size_t>(lp)];

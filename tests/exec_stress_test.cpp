@@ -1,0 +1,86 @@
+// Thread-backend soak tests (ctest label: stress). Larger clusters and
+// repeated runs give real OS scheduling enough room to produce rollback
+// storms, annihilation races and fence contention; any divergence from the
+// sequential reference is a synchronization bug. The quick CI lane skips
+// these with `ctest -LE stress`; the TSan lane runs them to chase races.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulation.hpp"
+#include "exec/backend.hpp"
+#include "models/registry.hpp"
+#include "pdes/seqref.hpp"
+
+namespace cagvt::exec {
+namespace {
+
+void expect_matches_seqref(const core::SimulationConfig& cfg, const pdes::Model& model,
+                           const core::SimulationResult& r) {
+  const pdes::LpMap map = core::Simulation::make_map(cfg);
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.events.committed, ref.committed());
+  EXPECT_EQ(r.committed_fingerprint, ref.fingerprint());
+  EXPECT_EQ(r.state_hash, ref.state_hash());
+}
+
+TEST(ThreadStressTest, LargerClusterMatchesSequentialReference) {
+  // 4 nodes x 4 threads with heavy remote traffic, for every GVT algorithm
+  // crossed with every MPI placement.
+  for (const core::GvtKind kind :
+       {core::GvtKind::kBarrier, core::GvtKind::kMattern,
+        core::GvtKind::kControlledAsync}) {
+    for (const core::MpiPlacement mpi :
+         {core::MpiPlacement::kDedicated, core::MpiPlacement::kCombined,
+          core::MpiPlacement::kEverywhere}) {
+      core::SimulationConfig cfg;
+      cfg.nodes = 4;
+      cfg.threads_per_node = 4;
+      cfg.lps_per_worker = 4;
+      cfg.end_vt = 60.0;
+      cfg.gvt_interval = 8;
+      cfg.seed = 97;
+      cfg.gvt = kind;
+      cfg.mpi = mpi;
+      const pdes::LpMap map = core::Simulation::make_map(cfg);
+      const auto model = models::make_model(
+          "phold", Options::parse_kv("remote=0.3,regional=0.3,epg=200"), map, cfg.end_vt);
+
+      SCOPED_TRACE(std::string(to_string(kind)) + "/" + std::string(to_string(mpi)));
+      const core::SimulationResult r =
+          run_simulation(cfg, *model, BackendKind::kThreads, 300.0);
+      expect_matches_seqref(cfg, *model, r);
+    }
+  }
+}
+
+TEST(ThreadStressTest, RepeatedRunsStayDeterministic) {
+  // Hammer one configuration many times; OS scheduling varies per run, the
+  // committed results must not.
+  core::SimulationConfig cfg;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 6;
+  cfg.end_vt = 20.0;
+  cfg.gvt_interval = 6;
+  cfg.seed = 31;
+  cfg.gvt = core::GvtKind::kControlledAsync;
+  const pdes::LpMap map = core::Simulation::make_map(cfg);
+  const auto model = models::make_model(
+      "phold", Options::parse_kv("remote=0.2,regional=0.3,epg=500"), map, cfg.end_vt);
+
+  pdes::SequentialReference ref(*model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  for (int run = 0; run < 10; ++run) {
+    const core::SimulationResult r =
+        run_simulation(cfg, *model, BackendKind::kThreads, 120.0);
+    ASSERT_TRUE(r.completed) << "run " << run;
+    EXPECT_EQ(r.committed_fingerprint, ref.fingerprint()) << "run " << run;
+    EXPECT_EQ(r.state_hash, ref.state_hash()) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace cagvt::exec

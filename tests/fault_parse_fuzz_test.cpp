@@ -1,0 +1,235 @@
+// Property/fuzz coverage for the fault-schedule DSL parser.
+//
+// Two properties, both with a fixed seed so failures replay exactly:
+//  1. Round-trip: describe() of any valid FaultSpec re-parses to a spec with
+//     the identical description — the DSL renderer and parser are inverses
+//     on the valid domain.
+//  2. Robustness: arbitrary byte-level mutations of valid schedules never
+//     crash the parser. Every rejection must arrive as FaultParseError (with
+//     a token position inside the input) or std::invalid_argument from
+//     validate() — never an abort, never any other exception type.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fault/fault_parse.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace cagvt::fault {
+namespace {
+
+// Deterministic generator of *valid* specs. Numeric fields draw from small
+// finite pools so describe()'s %g rendering stays in plain decimal form
+// (round-trip equality is on the rendered string).
+class SpecGenerator {
+ public:
+  explicit SpecGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  FaultSpec next() {
+    FaultSpec spec;
+    spec.kind = pick<FaultKind>({FaultKind::kStraggler, FaultKind::kLinkDegrade,
+                                 FaultKind::kMpiStall, FaultKind::kLoss,
+                                 FaultKind::kCrash});
+    switch (spec.kind) {
+      case FaultKind::kStraggler: fill_straggler(spec); break;
+      case FaultKind::kLinkDegrade: fill_link(spec); break;
+      case FaultKind::kMpiStall: fill_mpistall(spec); break;
+      case FaultKind::kLoss: fill_loss(spec); break;
+      case FaultKind::kCrash: fill_crash(spec); break;
+    }
+    spec.validate();  // the generator must only emit valid specs
+    return spec;
+  }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  template <typename T>
+  T pick(std::initializer_list<T> pool) {
+    std::uniform_int_distribution<std::size_t> dist(0, pool.size() - 1);
+    return *(pool.begin() + dist(rng_));
+  }
+
+  int node() { return pick<int>({-1, 0, 1, 2, 7, 63}); }
+  metasim::SimTime time_point() {
+    return pick<metasim::SimTime>({0, 1, 500, 2000, 1000000, 5000000});
+  }
+
+  void window(FaultSpec& spec, bool allow_open_end) {
+    spec.start = time_point();
+    if (allow_open_end && pick<int>({0, 1}) == 0) {
+      spec.end = metasim::kTimeNever;
+    } else {
+      spec.end = spec.start + pick<metasim::SimTime>({1, 1000, 250000, 4000000});
+    }
+  }
+
+  void fill_straggler(FaultSpec& spec) {
+    spec.node = node();
+    spec.slow = pick<double>({1.0, 1.5, 2.0, 4.0, 16.0});
+    spec.profile =
+        pick<FaultProfile>({FaultProfile::kConstant, FaultProfile::kSquareWave,
+                            FaultProfile::kRamp});
+    window(spec, spec.profile != FaultProfile::kRamp);
+    if (spec.profile == FaultProfile::kSquareWave)
+      spec.period = pick<metasim::SimTime>({100, 1000, 500000});
+  }
+
+  void fill_link(FaultSpec& spec) {
+    spec.src = node();
+    spec.dst = node();
+    spec.latency_factor = pick<double>({1.0, 2.0, 8.0});
+    spec.latency_add = pick<metasim::SimTime>({0, 200, 5000});
+    spec.bandwidth = pick<double>({0.25, 0.5, 1.0});
+    spec.jitter = pick<metasim::SimTime>({0, 100, 2000});
+    window(spec, true);
+  }
+
+  void fill_mpistall(FaultSpec& spec) {
+    spec.node = node();
+    spec.stall = pick<metasim::SimTime>({100, 1000, 20000});
+    spec.period = pick<int>({0, 1}) == 0 ? 0 : spec.stall * pick<metasim::SimTime>({1, 4, 10});
+    window(spec, true);
+  }
+
+  void fill_loss(FaultSpec& spec) {
+    spec.src = node();
+    spec.dst = node();
+    spec.rate = pick<double>({0.125, 0.25, 0.5, 1.0});
+    spec.loss_class =
+        pick<FrameClass>({FrameClass::kAll, FrameClass::kData, FrameClass::kControl});
+    window(spec, spec.rate < 1.0);
+  }
+
+  void fill_crash(FaultSpec& spec) {
+    spec.node = pick<int>({0, 1, 2, 7, 63});  // crash forbids 'all'
+    spec.start = time_point();
+    spec.down = pick<metasim::SimTime>({1, 1000, 250000});
+    spec.end = metasim::kTimeNever;  // crash carries its window as (start, down)
+  }
+
+  std::mt19937_64 rng_;
+};
+
+TEST(FaultParseFuzzTest, DescribeParseRoundTripsOnGeneratedSpecs) {
+  SpecGenerator gen(0xfa571);
+  for (int i = 0; i < 500; ++i) {
+    const FaultSpec spec = gen.next();
+    const std::string text = describe(spec);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + text);
+
+    std::vector<FaultSpec> parsed;
+    ASSERT_NO_THROW(parsed = parse_fault_schedule(text));
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(describe(parsed[0]), text);
+    EXPECT_EQ(parsed[0].kind, spec.kind);
+    EXPECT_EQ(parsed[0].start, spec.start);
+    EXPECT_EQ(parsed[0].window_end(), spec.window_end());
+  }
+}
+
+TEST(FaultParseFuzzTest, MultiSpecSchedulesRoundTrip) {
+  SpecGenerator gen(0xcafe);
+  for (int i = 0; i < 100; ++i) {
+    std::string schedule;
+    std::vector<std::string> parts;
+    const int count = 1 + static_cast<int>(gen.rng()() % 4);
+    for (int s = 0; s < count; ++s) {
+      parts.push_back(describe(gen.next()));
+      if (!schedule.empty()) schedule += ';';
+      schedule += parts.back();
+    }
+    SCOPED_TRACE(schedule);
+
+    std::vector<FaultSpec> parsed;
+    ASSERT_NO_THROW(parsed = parse_fault_schedule(schedule));
+    ASSERT_EQ(parsed.size(), parts.size());
+    for (std::size_t s = 0; s < parts.size(); ++s)
+      EXPECT_EQ(describe(parsed[s]), parts[s]);
+  }
+}
+
+// Apply one random byte-level mutation: substitute, insert, delete, or
+// truncate. Mutants may still be valid — the property is only "no crash,
+// errors are typed and positioned".
+std::string mutate(const std::string& input, std::mt19937_64& rng) {
+  static const char kBytes[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789.,:;=x_- \t\0\n%$*";
+  std::string out = input;
+  const auto byte = [&rng] {
+    return kBytes[rng() % (sizeof(kBytes) - 1)];
+  };
+  switch (rng() % 4) {
+    case 0:  // substitute
+      if (!out.empty()) out[rng() % out.size()] = byte();
+      break;
+    case 1:  // insert
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(rng() % (out.size() + 1)),
+                 byte());
+      break;
+    case 2:  // delete
+      if (!out.empty()) out.erase(rng() % out.size(), 1);
+      break;
+    case 3:  // truncate
+      if (!out.empty()) out.resize(rng() % out.size());
+      break;
+  }
+  return out;
+}
+
+TEST(FaultParseFuzzTest, MutatedSchedulesNeverCrashAndReportPositions) {
+  SpecGenerator gen(0xbead);
+  std::mt19937_64 mut_rng(0x5eed);
+  int rejected = 0;
+  int parse_errors = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string text = describe(gen.next());
+    // Stack 1-4 mutations so mutants drift well away from the valid grammar.
+    const int rounds = 1 + static_cast<int>(mut_rng() % 4);
+    for (int m = 0; m < rounds; ++m) text = mutate(text, mut_rng);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": [" + text + "]");
+
+    try {
+      (void)parse_fault_schedule(text);
+    } catch (const FaultParseError& e) {
+      // Syntax errors must point back into the input.
+      EXPECT_LE(e.position(), text.size());
+      EXPECT_NE(e.what()[0], '\0');
+      ++parse_errors;
+      ++rejected;
+    } catch (const std::invalid_argument& e) {
+      // Semantic (validate()) errors carry a message but no position.
+      EXPECT_NE(e.what()[0], '\0');
+      ++rejected;
+    }
+    // Any other exception type (or a crash/abort) fails the test run.
+  }
+  // Sanity: the mutator actually produces plenty of invalid inputs, and the
+  // parser reports positioned syntax errors for some of them.
+  EXPECT_GT(rejected, 500);
+  EXPECT_GT(parse_errors, 100);
+}
+
+TEST(FaultParseFuzzTest, PureGarbageIsRejectedWithPositions) {
+  std::mt19937_64 rng(0xdead);
+  static const char kBytes[] = "azAZ09.,:;=x \0\xff{}()[]<>\\\"'";
+  for (int i = 0; i < 1000; ++i) {
+    std::string text;
+    const std::size_t len = rng() % 64;
+    for (std::size_t c = 0; c < len; ++c) text += kBytes[rng() % (sizeof(kBytes) - 1)];
+    try {
+      const auto specs = parse_fault_schedule(text);
+      // Empty / separator-only inputs legitimately parse to nothing.
+      for (const auto& spec : specs) ASSERT_NO_THROW(spec.validate());
+    } catch (const FaultParseError& e) {
+      EXPECT_LE(e.position(), text.size());
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cagvt::fault

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""ctest wrapper certifying scripts/trace_diff.py's contract.
+
+Synthesizes trace CSV pairs (same schema as --trace-csv output) and checks
+the tool's exit codes and messages:
+  * identical pair              -> exit 0, "identical"
+  * reinterleaved-but-equal pair-> exit 0 (per-stream alignment works)
+  * field divergence            -> exit 1, "DIVERGED at" naming the first
+                                   diverging record
+  * missing/extra records       -> exit 1, "EXTRA records in" the longer file
+  * timing-only divergence      -> exit 1 plain, exit 0 with --ignore-time
+  * bad usage                   -> exit 2
+
+Usage: trace_diff_check.py /path/to/trace_diff.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HEADER = "seq,t_ns,kind,node,worker,round,a,b,u,value,label"
+
+# One record per (node, worker) stream pair, interleaved.
+BASE_ROWS = [
+    "0,100,gvt_round,0,0,1,0,0,0,5.0,round",
+    "1,120,commit,0,1,1,3,4,77,1.0,ev",
+    "2,150,gvt_round,1,0,1,0,0,0,5.0,round",
+    "3,180,commit,0,1,1,5,6,78,2.0,ev",
+    "4,210,rollback,1,1,2,9,0,79,0.0,undo",
+]
+
+
+def write_csv(directory, name, rows):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        f.write(HEADER + "\n")
+        for row in rows:
+            f.write(row + "\n")
+    return path
+
+
+def run(tool, *argv):
+    proc = subprocess.run(
+        [sys.executable, tool, *argv], capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(condition, label, output):
+    if not condition:
+        sys.stderr.write(f"FAIL: {label}\n--- tool output ---\n{output}\n")
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    tool = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        a = write_csv(tmp, "a.csv", BASE_ROWS)
+
+        # 1. Identical files are identical.
+        b = write_csv(tmp, "identical.csv", BASE_ROWS)
+        code, out = run(tool, a, b)
+        check(code == 0 and "identical" in out, "identical pair exits 0", out)
+
+        # 2. A different global interleaving of the same per-stream records
+        #    is still semantically identical (new seq, same streams).
+        reordered = [BASE_ROWS[2], BASE_ROWS[0], BASE_ROWS[4],
+                     BASE_ROWS[1], BASE_ROWS[3]]
+        reseq = [f"{i}," + row.split(",", 1)[1] for i, row in enumerate(reordered)]
+        b = write_csv(tmp, "reordered.csv", reseq)
+        code, out = run(tool, a, b)
+        check(code == 0, "reinterleaved pair exits 0", out)
+
+        # 3. A diverging field is reported, pointing at the first divergence.
+        diverged = list(BASE_ROWS)
+        diverged[1] = "1,120,commit,0,1,1,3,4,77,9.0,ev"  # value 1.0 -> 9.0
+        b = write_csv(tmp, "diverged.csv", diverged)
+        code, out = run(tool, a, b)
+        check(code == 1 and "DIVERGED at" in out, "field divergence exits 1", out)
+        check("node=0 worker=1 kind=commit" in out and "value: 1.0 vs 9.0" in out,
+              "divergence names the first diverging record", out)
+
+        # 4. Extra records in one file are reported with the longer file.
+        b = write_csv(tmp, "truncated.csv", BASE_ROWS[:-1])
+        code, out = run(tool, a, b)
+        check(code == 1 and "EXTRA records in" in out and a in out,
+              "missing records exit 1 naming the longer file", out)
+
+        # 5. Timing-only drift: divergence normally, identical with
+        #    --ignore-time.
+        shifted = [row.replace(",120,", ",999,") for row in BASE_ROWS]
+        b = write_csv(tmp, "shifted.csv", shifted)
+        code, out = run(tool, a, b)
+        check(code == 1 and "t_ns" in out, "timing drift exits 1 by default", out)
+        code, out = run(tool, a, b, "--ignore-time")
+        check(code == 0, "timing drift exits 0 with --ignore-time", out)
+
+        # 6. Usage errors exit 2.
+        code, out = run(tool, a)
+        check(code == 2, "missing operand exits 2", out)
+        code, out = run(tool, a, b, "--bogus-flag")
+        check(code == 2, "unknown flag exits 2", out)
+
+    print("trace_diff_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
