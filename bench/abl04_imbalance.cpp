@@ -7,6 +7,7 @@
 // traffic the imbalance would otherwise generate.
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
 #include "models/imbalanced_phold.hpp"
 
 namespace cagvt::bench {
@@ -47,4 +48,4 @@ CAGVT_HOT_SWEEP(BM_CaGvt);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl04")

@@ -20,6 +20,7 @@
 // point still runs exactly once (Iterations(1)).
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
 #include "fault/fault_parse.hpp"
 
 namespace cagvt::bench {
@@ -60,4 +61,4 @@ CAGVT_FAULT_SWEEP(BM_CaGvt);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl06")

@@ -20,9 +20,11 @@
 //   --threshold X      CA-GVT efficiency threshold (0.8)
 //   --batch N          events per worker-loop iteration (4)
 //   --seed N           engine seed (1)
-//   --model NAME       phold | mixed-phold | imbalanced-phold (phold)
+//   --model NAME       a registered model (phold); --help lists them all
 //   model parameters   --remote --regional --epg --mean-delay
 //                      --x --y (mixed), --hot-fraction --hot-factor
+//                      (imbalanced), --hotspot-pct --zipf-s --hot-cost
+//                      (hotspot)
 //   --fault SCHED      fault-injection schedule (';'-separated specs), e.g.
 //                        --fault 'straggler:node=3,t=2ms..6ms,slow=4x'
 //                        --fault 'link:src=0,dst=1,latency=4x,jitter=2us'
@@ -33,6 +35,10 @@
 //   --fault-seed N     seed for the perturbation RNG streams
 //   --ckpt-every N     write a GVT-aligned checkpoint every N rounds (0=off;
 //                      crash recovery always has the initial checkpoint)
+//   --lb SPEC          dynamic LP migration: off (default) or
+//                        --lb roughness
+//                        --lb 'roughness,trigger=0.5,budget=8,cooldown=2'
+//                      see src/lb/lb_config.hpp for every parameter
 //   --trace            print the GVT trace
 //   --trace-out FILE   write a Chrome trace-event JSON (Perfetto) trace
 //   --trace-csv FILE   write the structured trace as CSV
@@ -56,6 +62,21 @@ using namespace cagvt;
 
 int main(int argc, char** argv) try {
   const Options opts = Options::parse(argc, argv);
+  if (opts.get_bool("help", false) || opts.get_bool("h", false)) {
+    std::printf("usage: phold_cluster [--option[=value] ...]\n\n"
+                "Cluster shape : --nodes --threads --lps --mpi --backend\n"
+                "Run control   : --end --gvt --interval --threshold --batch --seed\n"
+                "Faults        : --fault --fault-seed --ckpt-every\n"
+                "Load balance  : --lb off|roughness[,trigger=X,budget=N,cooldown=N,\n"
+                "                   ewma=X,min-lps=N]\n"
+                "Observability : --trace --trace-out --trace-csv --metrics-out --verbose\n"
+                "\nRegistered models (--model NAME):\n");
+    for (const std::string& name : models::model_names())
+      std::printf("  %s\n", name.c_str());
+    std::printf("\nSee the header of examples/phold_cluster.cpp for defaults and the\n"
+                "full option reference.\n");
+    return 0;
+  }
   if (opts.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
 
   core::SimulationConfig cfg;
@@ -74,6 +95,7 @@ int main(int argc, char** argv) try {
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   core::apply_cluster_overrides(cfg.cluster, opts);
   core::apply_fault_options(cfg, opts);
+  core::apply_lb_options(cfg, opts);
 
   const std::string trace_out = opts.get_string("trace-out", "");
   const std::string trace_csv = opts.get_string("trace-csv", "");
@@ -99,6 +121,8 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(cfg.seed));
   for (const auto& spec : cfg.faults)
     std::printf("fault   : %s\n", fault::describe(spec).c_str());
+  if (cfg.lb.enabled())
+    std::printf("lb      : %s\n", lb::to_string(cfg.lb).c_str());
 
   const core::SimulationResult r = exec::run_simulation(cfg, *model, backend);
 
@@ -145,6 +169,13 @@ int main(int argc, char** argv) try {
     std::printf("recovery            : %llu checkpoints, %llu restores, %.4f s recovering\n",
                 static_cast<unsigned long long>(r.checkpoints),
                 static_cast<unsigned long long>(r.restores), r.recovery_seconds);
+  if (cfg.lb.enabled())
+    std::printf("load balance        : %llu migrations over %llu rounds, %llu forwards, "
+                "roughness %.4f, owner table v%u\n",
+                static_cast<unsigned long long>(r.lb_migrations),
+                static_cast<unsigned long long>(r.lb_migration_rounds),
+                static_cast<unsigned long long>(r.lb_forwards), r.avg_lvt_roughness,
+                r.owner_table_version);
   std::printf("final GVT           : %.3f%s\n", r.final_gvt, r.completed ? "" : "  [INCOMPLETE]");
 
   if (trace) {

@@ -1,23 +1,53 @@
 #!/usr/bin/env python3
-"""Parse google-benchmark console output from the CA-GVT bench suite into
-CSV series, one row per figure point.
+"""Parse CA-GVT bench output into CSV series, one row per figure point.
 
-Usage:
-    for b in build/bench/*; do echo "=== $(basename $b)"; $b; done > bench_output.txt
-    python3 scripts/bench_to_csv.py bench_output.txt > figures.csv
+Two input formats:
 
-Columns: figure, series, x (nodes / interval / threshold / hot_factor),
-rate_events_s, efficiency_pct, rollbacks, gvt_rounds, sync_rounds,
-sim_wall_s.
+  * google-benchmark console output (the historical path):
+        for b in build/bench/*; do echo "=== $(basename $b)"; $b; done > bench_output.txt
+        python3 scripts/bench_to_csv.py bench_output.txt > figures.csv
+
+  * machine-readable BENCH_*.json baselines written by the ablation
+    binaries (bench/bench_json.hpp). Any argument ending in .json is
+    parsed as a google-benchmark JSON report; several can be mixed:
+        python3 scripts/bench_to_csv.py BENCH_abl04.json BENCH_abl08.json > ablations.csv
+
+Columns: figure, series, x (nodes / interval / threshold / hot_factor /
+scenario), rate_events_s, efficiency_pct, rollbacks, gvt_rounds,
+sync_rounds, sim_wall_s, plus any extra counters present in JSON inputs
+(lvt_roughness, migrations, ...).
 """
 
+import json
+import os
 import re
 import sys
 
 ROW = re.compile(r"^(BM_\w+)(?:/(\w+):(\d+))?/iterations:1\s")
 COUNTER = re.compile(r"(\w+)=([-\d.eku]+[MKGmu]?)")
+JSON_NAME = re.compile(r"^(BM_\w+)(?:/(\w+):(\d+))?")
 
 SUFFIX = {"k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "m": 1e-3, "u": 1e-6}
+
+FIELDS = [
+    "rate_events_s",
+    "efficiency_pct",
+    "rollbacks",
+    "gvt_rounds",
+    "sync_rounds",
+    "sim_wall_s",
+]
+
+# Extra counters exported only by some binaries (abl08's migration
+# metrics); emitted as trailing columns when any input provides them.
+EXTRA_FIELDS = [
+    "lvt_roughness",
+    "migrations",
+    "migration_rounds",
+    "forwards",
+    "owner_table_version",
+    "fault_activations",
+]
 
 
 def parse_value(text: str) -> float:
@@ -26,17 +56,14 @@ def parse_value(text: str) -> float:
     return float(text)
 
 
-def main(path: str) -> None:
+def figure_from_path(path: str) -> str:
+    stem = os.path.basename(path)
+    stem = stem.removesuffix(".json").removeprefix("BENCH_")
+    return stem
+
+
+def rows_from_console(path: str):
     figure = "?"
-    fields = [
-        "rate_events_s",
-        "efficiency_pct",
-        "rollbacks",
-        "gvt_rounds",
-        "sync_rounds",
-        "sim_wall_s",
-    ]
-    print("figure,series,x," + ",".join(fields))
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             if line.startswith("==="):
@@ -48,9 +75,45 @@ def main(path: str) -> None:
             series = match.group(1).removeprefix("BM_")
             x = match.group(3) or ""
             counters = {k: parse_value(v) for k, v in COUNTER.findall(line)}
-            values = [repr(counters.get(f, "")) for f in fields]
-            print(f"{figure},{series},{x}," + ",".join(v.strip("'") for v in values))
+            yield figure, series, x, counters
+
+
+def rows_from_json(path: str):
+    figure = figure_from_path(path)
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = JSON_NAME.match(bench.get("name", ""))
+        if not match:
+            continue
+        series = match.group(1).removeprefix("BM_")
+        x = match.group(3) or ""
+        counters = {
+            key: value
+            for key, value in bench.items()
+            if isinstance(value, (int, float)) and not key.startswith("per_family")
+        }
+        yield figure, series, x, counters
+
+
+def main(paths: list[str]) -> None:
+    rows = []
+    for path in paths:
+        reader = rows_from_json if path.endswith(".json") else rows_from_console
+        rows.extend(reader(path))
+
+    extras = [f for f in EXTRA_FIELDS if any(f in c for _, _, _, c in rows)]
+    fields = FIELDS + extras
+    print("figure,series,x," + ",".join(fields))
+    for figure, series, x, counters in rows:
+        values = []
+        for field in fields:
+            value = counters.get(field, "")
+            values.append(repr(value).strip("'") if value != "" else "")
+        print(f"{figure},{series},{x}," + ",".join(values))
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    main(sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"])

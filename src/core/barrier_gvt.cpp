@@ -16,6 +16,11 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
     round_active_ = true;  // signals the dedicated MPI thread to join
     round_started_ = node_.engine().now();
     if (node_.recovery() != nullptr) plan_ = node_.recovery()->plan_round(round_no_ + 1);
+    // First worker to open the round also fixes whether the balancer's
+    // pending migration plan executes at this round's fence (restore
+    // rounds never migrate — the plan describes the discarded timeline).
+    lb_moves_ = plan_ != RoundPlan::kRestore && node_.lb() != nullptr &&
+                node_.lb()->round_has_moves(round_no_ + 1);
     node_.trace().round_begin(node_.rank(), round_no_ + 1, /*sync=*/true);
   }
   auto& collectives = node_.collectives();
@@ -101,6 +106,21 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
     node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round + 1,
                                "ckpt-fence");
   }
+  if (lb_moves_) {
+    // Migrations execute at the same quiesced cut, after any checkpoint
+    // captured the pre-move placement. The fence barrier keeps every
+    // worker's post-round sends behind the owner-table bump.
+    co_await node_.apply_migrations(worker, round + 1);
+    node_.trace().barrier_enter(node_.rank(), worker.index_in_node, round + 1,
+                                "lb-fence");
+    if (agent_inline) {
+      co_await collectives.barrier_agent();
+    } else {
+      co_await collectives.barrier();
+    }
+    node_.trace().barrier_exit(node_.rank(), worker.index_in_node, round + 1,
+                               "lb-fence");
+  }
   if (agent_inline) close_round();
   // Round over: hand the buffered messages to the engine (rollbacks and
   // their anti-messages happen now, as post-round traffic).
@@ -137,6 +157,11 @@ Process BarrierGvt::agent_tick(WorkerCtx* self) {
     node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "ckpt-fence");
     co_await collectives.barrier_agent();
     node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "ckpt-fence");
+  }
+  if (lb_moves_) {
+    node_.trace().barrier_enter(node_.rank(), -1, round_no_ + 1, "lb-fence");
+    co_await collectives.barrier_agent();
+    node_.trace().barrier_exit(node_.rank(), -1, round_no_ + 1, "lb-fence");
   }
   close_round();
 }

@@ -53,6 +53,10 @@ class BarrierGvt final : public GvtAlgorithm {
   /// message sends must still be fenced by an extra global barrier — see
   /// NodeRuntime::checkpoint_worker.
   RoundPlan plan_ = RoundPlan::kNormal;
+  /// The load balancer committed a migration plan to this round; workers
+  /// execute it after fossil collection (and any checkpoint) and fence it
+  /// from the round's flush with an extra global barrier.
+  bool lb_moves_ = false;
 
   void close_round() {
     ++round_no_;
@@ -60,6 +64,7 @@ class BarrierGvt final : public GvtAlgorithm {
     stats_.round_time_total += node_.engine().now() - round_started_;
     round_active_ = false;
     plan_ = RoundPlan::kNormal;
+    lb_moves_ = false;
     node_.trace().round_end(node_.rank(), round_no_);
     node_.metrics().counter("gvt.rounds").inc();
   }

@@ -11,6 +11,7 @@
 
 #include "fault/fault_parse.hpp"
 #include "fault/fault_spec.hpp"
+#include "lb/lb_config.hpp"
 #include "net/cluster_spec.hpp"
 #include "pdes/event.hpp"
 
@@ -90,6 +91,11 @@ struct SimulationConfig {
   /// to; a periodic cadence bounds how much work a crash discards.
   /// Surfaced on the CLIs as --ckpt-every.
   int ckpt_every = 0;
+  /// Dynamic LP migration (src/lb). Off by default: the balancer is only
+  /// instantiated when enabled, and an off run is bit-identical to a build
+  /// without the subsystem. Parsed from --lb on the CLIs
+  /// (see lb/lb_config.hpp for the policy parameters).
+  lb::LbConfig lb;
 
   int workers_per_node() const {
     return mpi == MpiPlacement::kDedicated ? threads_per_node - 1 : threads_per_node;
@@ -109,6 +115,7 @@ struct SimulationConfig {
     if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
     if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
+    lb.validate();
     for (std::size_t i = 0; i < faults.size(); ++i) {
       faults[i].validate(i);
       const std::string where =

@@ -32,6 +32,11 @@ void apply_fault_options(SimulationConfig& cfg, const Options& options) {
   cfg.ckpt_every = static_cast<int>(options.get_int("ckpt-every", cfg.ckpt_every));
 }
 
+void apply_lb_options(SimulationConfig& cfg, const Options& options) {
+  const std::string spec = options.get_string("lb", "");
+  if (!spec.empty()) cfg.lb = lb::parse_lb(spec);
+}
+
 double bench_scale_from_env() {
   const char* env = std::getenv("CAGVT_BENCH_SCALE");
   if (env == nullptr) return 1.0;

@@ -69,4 +69,9 @@ void apply_cluster_overrides(net::ClusterSpec& spec, const Options& options);
 /// and its position.
 void apply_fault_options(SimulationConfig& cfg, const Options& options);
 
+/// Apply the load-balancing flag: --lb 'off|roughness[,key=val...]'
+/// (see lb/lb_config.hpp for the parameter DSL). Parse errors propagate
+/// as std::invalid_argument naming the offending key.
+void apply_lb_options(SimulationConfig& cfg, const Options& options);
+
 }  // namespace cagvt::core

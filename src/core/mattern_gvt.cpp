@@ -31,10 +31,15 @@ void MatternGvt::begin_round() {
   restore_cleared_ = false;
   plan_ = node_.recovery() != nullptr ? node_.recovery()->plan_round(round_)
                                       : RoundPlan::kNormal;
-  // Checkpoint/restore rounds piggyback on the synchronous machinery: the
-  // barriers quiesce processing, and the post-fossil barrier fences the
-  // snapshot/rewind from the round's message flush.
-  sync_round_active_ = sync_flag_ || plan_ != RoundPlan::kNormal;
+  // Migration plans commit to a round the same way recovery plans do: the
+  // first node to begin the round fixes the cluster-wide answer. Restore
+  // rounds never migrate — the plan would describe the discarded timeline.
+  lb_moves_ = plan_ != RoundPlan::kRestore && node_.lb() != nullptr &&
+              node_.lb()->round_has_moves(round_);
+  // Checkpoint/restore/migration rounds piggyback on the synchronous
+  // machinery: the barriers quiesce processing, and the post-fossil barrier
+  // fences the snapshot/rewind/moves from the round's message flush.
+  sync_round_active_ = sync_flag_ || plan_ != RoundPlan::kNormal || lb_moves_;
   node_.trace().round_begin(node_.rank(), round_, sync_round_active_);
 }
 
@@ -190,6 +195,11 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
       co_await delay(cfg.cluster.fossil_per_event * static_cast<SimTime>(committed));
       if (plan_ == RoundPlan::kCheckpoint)
         co_await node_.checkpoint_worker(worker, round_, gvt_value_);
+      // Migrations execute at the same quiesced cut, after any checkpoint
+      // captured the pre-move placement; the post-fossil barrier below
+      // keeps every worker parked until the fence's last arrival has moved
+      // the LP packages and bumped the owner table.
+      if (lb_moves_) co_await node_.apply_migrations(worker, round_);
     }
     worker.gvt.iters_since_round = 0;
     if (sync_round_active_)

@@ -161,6 +161,11 @@ class MatternGvt : public GvtAlgorithm {
   /// what makes the cut quiescent (no sends between the snapshot/rewind
   /// and the barrier release).
   RoundPlan plan_ = RoundPlan::kNormal;
+  /// The load balancer committed a migration plan to this round. Migration
+  /// rounds are forced synchronous for the same reason checkpoints are: the
+  /// post-fossil barrier holds every worker while the last fence arrival
+  /// moves LP packages and bumps the owner table.
+  bool lb_moves_ = false;
   bool restore_cleared_ = false;  // first restorer zeroed the colour counters
   /// Which of a synchronous round's three barriers the dedicated MPI
   /// thread has joined (combined placement joins inline as a worker).

@@ -49,14 +49,16 @@ Process NodeCollectives::barrier_agent() {
 // ---------------------------------------------------------------------------
 
 NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
-                         const pdes::LpMap& map, const pdes::Model& model, int node_id,
-                         ClusterProfiler& profiler, obs::TraceRecorder& trace,
-                         obs::MetricsRegistry& metrics, const fault::FaultEngine* faults,
-                         RecoveryManager* recovery)
+                         const pdes::LpMap& map, pdes::OwnerTable& owners,
+                         const pdes::Model& model, int node_id, ClusterProfiler& profiler,
+                         obs::TraceRecorder& trace, obs::MetricsRegistry& metrics,
+                         const fault::FaultEngine* faults, RecoveryManager* recovery,
+                         lb::Controller* lb)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
       map_(map),
+      owners_(owners),
       model_(model),
       node_id_(node_id),
       profiler_(profiler),
@@ -64,6 +66,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       metrics_(metrics),
       faults_(faults),
       recovery_(recovery),
+      lb_(lb),
       regional_msgs_metric_(metrics.counter("net.regional_msgs")),
       remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
@@ -71,13 +74,16 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       collectives_(engine, fabric, node_id,
                    cfg.workers_per_node() + (cfg.has_dedicated_mpi() ? 1 : 0),
                    cfg.cluster.pthread_barrier_cost(cfg.threads_per_node)) {
-  const pdes::KernelConfig kcfg{.end_vt = cfg.end_vt, .seed = cfg.seed};
+  const pdes::KernelConfig kcfg{
+      .end_vt = cfg.end_vt, .seed = cfg.seed, .dynamic_placement = lb_ != nullptr};
   for (int w = 0; w < cfg.workers_per_node(); ++w) {
     const bool duty = !cfg.has_dedicated_mpi() && w == 0;
     workers_.push_back(std::make_unique<WorkerCtx>(*this, engine, cfg.cluster, model, map,
                                                    map.global_worker(node_id, w), kcfg, duty));
     workers_.back()->kernel.set_observability(
         &trace_, metrics_.histogram("kernel.rollback_depth", 0, 64, 16), node_id, w);
+    if (lb_ != nullptr)
+      lb_->register_kernel(workers_.back()->global_worker, &workers_.back()->kernel);
   }
 }
 
@@ -92,6 +98,9 @@ void NodeRuntime::start() {
 
 std::uint64_t NodeRuntime::adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_t round) {
   profiler_.record_lvt(round, worker.kernel.local_min_ts());
+  if (lb_ != nullptr)
+    lb_->observe(round, worker.global_worker, worker.kernel.local_min_ts(), gvt,
+                 worker.kernel.drain_lp_work());
   if (node_id_ == 0 && worker.index_in_node == 0) profiler_.record_gvt(gvt);
   const std::uint64_t committed = worker.kernel.fossil_collect(gvt);
   if (gvt > cfg_.end_vt && !stop_) {
@@ -182,7 +191,7 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
     mpi_outbox_.items.pop_front();
     co_await delay(cpu(spec.shm_copy));
     mpi_outbox_.mutex.unlock();
-    co_await fabric_.isend(node_id_, map_.node_of(event.dst_lp), spec.event_msg_bytes,
+    co_await fabric_.isend(node_id_, owners_.node_of(event.dst_lp), spec.event_msg_bytes,
                            NetMsg{event});
     *did_work = true;
   }
@@ -208,9 +217,22 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
     if (shared_inbox) mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
       trace_.mpi_recv(node_id_, -1, "event");
-      WorkerCtx& dest =
-          *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
-      co_await deliver_to_worker(dest, *event);
+      // The destination LP may have migrated off this node while the
+      // message was in flight; re-send toward the current owner. The
+      // original send is still the only counted send — the receive is
+      // counted when the final worker drains it, so GVT transit counting
+      // stays balanced across any number of forwarding hops.
+      const int owner_node = owners_.node_of(event->dst_lp);
+      if (owner_node != node_id_) {
+        CAGVT_CHECK_MSG(event->epoch < owners_.version(),
+                        "event misrouted within its own epoch");
+        lb_->count_forward();
+        co_await fabric_.isend(node_id_, owner_node, spec.event_msg_bytes, NetMsg{*event});
+      } else {
+        WorkerCtx& dest =
+            *workers_[static_cast<std::size_t>(owners_.worker_in_node(event->dst_lp))];
+        co_await deliver_to_worker(dest, *event);
+      }
     } else {
       trace_.mpi_recv(node_id_, -1, "control");
       gvt_->on_token(std::get<MatternToken>(*msg));
@@ -243,13 +265,24 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
     mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
       trace_.mpi_recv(node_id_, worker.index_in_node, "event");
+      const int owner_node = owners_.node_of(event->dst_lp);
+      if (owner_node != node_id_) {
+        // In-flight across a migration fence: forward to the current owner
+        // (see mpi_progress for the transit-counting argument).
+        CAGVT_CHECK_MSG(event->epoch < owners_.version(),
+                        "event misrouted within its own epoch");
+        lb_->count_forward();
+        co_await fabric_.isend(node_id_, owner_node, spec.event_msg_bytes, NetMsg{*event});
+        *did_work = true;
+        continue;
+      }
       // Always route through the destination's remote inbox — even for this
       // worker's own LPs. Depositing directly could overtake another
       // worker's still-in-flight delivery of an EARLIER message for the
       // same destination, breaking the per-pair FIFO order annihilation
       // depends on.
       WorkerCtx& dest =
-          *workers_[static_cast<std::size_t>(map_.worker_in_node(event->dst_lp))];
+          *workers_[static_cast<std::size_t>(owners_.worker_in_node(event->dst_lp))];
       co_await deliver_to_worker(dest, *event);
     } else {
       trace_.mpi_recv(node_id_, worker.index_in_node, "control");
@@ -274,6 +307,18 @@ Process NodeRuntime::drain_inboxes(WorkerCtx& worker, bool* did_work) {
     for (const pdes::Event& event : batch) {
       ++worker.gvt.msgs_recv;
       gvt_->on_recv(worker, event);
+      if (owners_.worker_of(event.dst_lp) != worker.global_worker) {
+        // Delivered before a migration fence, drained after it: the
+        // destination LP now lives elsewhere. Re-send: the forward is a
+        // fresh counted send (the matching receive happens at the new
+        // owner), so transit counting and min-red accounting stay exact.
+        CAGVT_CHECK_MSG(event.epoch < owners_.version(),
+                        "event misrouted within its own epoch");
+        lb_->count_forward();
+        co_await send_event(worker, event);
+        *did_work = true;
+        continue;
+      }
       pdes::Outcome out = worker.kernel.deposit(event);
       co_await handle_outcome(worker, std::move(out));
       *did_work = true;
@@ -303,6 +348,17 @@ Process NodeRuntime::flush_round_buffer(WorkerCtx& worker) {
   std::vector<pdes::Event> batch;
   batch.swap(worker.round_buffer);
   for (const pdes::Event& event : batch) {
+    if (owners_.worker_of(event.dst_lp) != worker.global_worker) {
+      // Read (and counted as received) before this round's migration
+      // fence moved the destination LP away. Forward it to the new owner:
+      // the re-send is counted like any send and its receive-time stamp is
+      // >= the just-adopted GVT, so the next round's bound stays valid.
+      CAGVT_CHECK_MSG(event.epoch < owners_.version(),
+                      "event misrouted within its own epoch");
+      lb_->count_forward();
+      co_await send_event(worker, event);
+      continue;
+    }
     pdes::Outcome out = worker.kernel.deposit(event);
     co_await handle_outcome(worker, std::move(out));
   }
@@ -331,14 +387,15 @@ Process NodeRuntime::handle_outcome(WorkerCtx& worker, pdes::Outcome outcome) {
 
 Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
   const auto& spec = cfg_.cluster;
+  event.epoch = owners_.version();
   ++worker.gvt.msgs_sent;
   gvt_->on_send(worker, event);  // stamps the colour, updates counters
 
-  const int dest_node = map_.node_of(event.dst_lp);
+  const int dest_node = owners_.node_of(event.dst_lp);
   if (dest_node == node_id_) {
     ++regional_msgs_;
     regional_msgs_metric_.inc();
-    WorkerCtx& dest = *workers_[static_cast<std::size_t>(map_.worker_in_node(event.dst_lp))];
+    WorkerCtx& dest = *workers_[static_cast<std::size_t>(owners_.worker_in_node(event.dst_lp))];
     CAGVT_ASSERT(&dest != &worker);  // same-thread events never reach here
     co_await dest.regional_in.mutex.lock();
     co_await delay(cpu(spec.shm_copy));
@@ -381,6 +438,30 @@ Process NodeRuntime::checkpoint_worker(WorkerCtx& worker, std::uint64_t round, d
   }
 }
 
+Process NodeRuntime::apply_migrations(WorkerCtx& worker, std::uint64_t round) {
+  if (lb_ == nullptr) co_return;
+  const std::vector<pdes::Migration>& plan = lb_->moves_for(round);
+  if (plan.empty()) co_return;
+  const auto& spec = cfg_.cluster;
+  int moved = 0;        // LPs this worker packs (out) or installs (in)
+  int cross_node = 0;   // ... of which cross the network
+  for (const pdes::Migration& m : plan) {
+    const bool out = m.src_worker == worker.global_worker;
+    const bool in = m.dst_worker == worker.global_worker;
+    if (!out && !in) continue;
+    ++moved;
+    if (map_.node_of_worker(m.src_worker) != map_.node_of_worker(m.dst_worker)) ++cross_node;
+  }
+  if (moved > 0) {
+    SimTime cost = spec.migrate_base + spec.migrate_per_lp * static_cast<SimTime>(moved);
+    cost += (spec.net_latency + spec.transmit_time(spec.migrate_msg_bytes)) *
+            static_cast<SimTime>(cross_node);
+    co_await delay(cpu(cost));
+  }
+  // The cluster-wide last arrival moves the LPs and bumps the table.
+  lb_->worker_at_fence(round);
+}
+
 Process NodeRuntime::restore_worker(WorkerCtx& worker, std::uint64_t round) {
   const auto& spec = cfg_.cluster;
   const ClusterCheckpoint& ckpt = recovery_->restore_source();
@@ -409,6 +490,11 @@ Process NodeRuntime::restore_worker(WorkerCtx& worker, std::uint64_t round) {
     fabric_.restore_transport(node_id_, recovery_->restore_epoch(),
                               ckpt.transport[static_cast<std::size_t>(node_id_)]);
     recovery_->node_restore_complete(node_id_, round);
+    // The recovery manager rewound the owner table to the checkpoint's cut
+    // (node_restore_complete, cluster-wide last node); the balancer's
+    // estimators and any pending plan describe a timeline that no longer
+    // exists.
+    if (lb_ != nullptr) lb_->on_restore();
   }
 }
 

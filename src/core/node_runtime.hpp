@@ -19,6 +19,7 @@
 #include "core/messages.hpp"
 #include "core/recovery.hpp"
 #include "fault/fault_engine.hpp"
+#include "lb/controller.hpp"
 #include "metasim/channel.hpp"
 #include "metasim/process.hpp"
 #include "metasim/sync.hpp"
@@ -173,12 +174,14 @@ class NodeRuntime {
  public:
   /// `faults` may be null (healthy cluster); when set, every CPU cost the
   /// node charges is scaled by the node's straggler factor and the MPI
-  /// agent honors stall pulses.
+  /// agent honors stall pulses. `owners` is the cluster-wide dynamic owner
+  /// table every routing decision goes through (the identity overlay when
+  /// migration is off); `lb` may be null (no load balancing).
   NodeRuntime(metasim::Engine& engine, Fabric& fabric, const SimulationConfig& cfg,
-              const pdes::LpMap& map, const pdes::Model& model, int node_id,
-              ClusterProfiler& profiler, obs::TraceRecorder& trace,
+              const pdes::LpMap& map, pdes::OwnerTable& owners, const pdes::Model& model,
+              int node_id, ClusterProfiler& profiler, obs::TraceRecorder& trace,
               obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr,
-              RecoveryManager* recovery = nullptr);
+              RecoveryManager* recovery = nullptr, lb::Controller* lb = nullptr);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -199,6 +202,9 @@ class NodeRuntime {
   obs::MetricsRegistry& metrics() { return metrics_; }
   /// Null when neither --ckpt-every nor a crash spec is configured.
   RecoveryManager* recovery() { return recovery_; }
+  /// Null when --lb=off.
+  lb::Controller* lb() { return lb_; }
+  const pdes::OwnerTable& owners() const { return owners_; }
 
   /// A worker adopts a freshly computed GVT: fossil-collect, record the
   /// profiler samples, stop the node once the horizon is passed. Returns
@@ -237,6 +243,15 @@ class NodeRuntime {
   /// transport cursors. The caller MUST hold a global barrier between this
   /// and any message send, or the transport snapshot would tear.
   metasim::Process checkpoint_worker(WorkerCtx& worker, std::uint64_t round, double gvt);
+
+  /// Migration round, at the same quiesced cut checkpoint_worker uses
+  /// (after fossil collection and any checkpoint, before the post-round
+  /// barrier + flush): charge this worker's share of the pack/install and
+  /// wire costs, then arrive at the lb fence — the cluster-wide last
+  /// arrival executes the whole batch and bumps the owner-table version.
+  /// The caller MUST hold a global barrier between this and any message
+  /// send so no event is routed while kernels exchange LPs.
+  metasim::Process apply_migrations(WorkerCtx& worker, std::uint64_t round);
 
   /// Restore round, in place of GVT adoption: rewind this worker to the
   /// checkpoint being restored. Zeroes the worker's message-counting state
@@ -291,6 +306,7 @@ class NodeRuntime {
   Fabric& fabric_;
   const SimulationConfig& cfg_;
   const pdes::LpMap& map_;
+  pdes::OwnerTable& owners_;
   const pdes::Model& model_;
   int node_id_;
   ClusterProfiler& profiler_;
@@ -298,6 +314,7 @@ class NodeRuntime {
   obs::MetricsRegistry& metrics_;
   const fault::FaultEngine* faults_;
   RecoveryManager* recovery_;
+  lb::Controller* lb_;
   obs::CounterHandle regional_msgs_metric_;
   obs::CounterHandle remote_msgs_metric_;
 

@@ -87,6 +87,10 @@ RoundPlan RecoveryManager::plan_round(std::uint64_t round) {
 void RecoveryManager::save_worker(std::uint64_t round, double gvt, int global_worker,
                                   WorkerSnapshot snapshot) {
   ClusterCheckpoint& ckpt = store_.at_round(round, gvt);
+  // First slice of the round: freeze the LP owner table alongside it. Every
+  // worker checkpoints before the round's migration fence executes, so this
+  // is the placement the kernel slices were cut under.
+  if (owners_ != nullptr && ckpt.owners.owner.empty()) ckpt.owners = owners_->snapshot();
   ckpt.workers[static_cast<std::size_t>(global_worker)] = std::move(snapshot);
   ++ckpt.workers_done;
   CAGVT_CHECK(ckpt.workers_done <= store_.total_workers());
@@ -115,6 +119,11 @@ void RecoveryManager::node_restore_complete(int node, std::uint64_t round) {
   (void)round;
   ++restore_nodes_done_;
   if (restore_nodes_done_ == store_.nodes()) {
+    // Rewind LP placement to the checkpoint's cut. The restore fence holds
+    // every node until this point, so no event routes under the new table
+    // between the kernel rewinds and this.
+    if (owners_ != nullptr && !restore_source().owners.owner.empty())
+      owners_->restore(restore_source().owners);
     ++restores_;
     restore_metric_.inc();
     const metasim::SimTime latency = engine_.now() - recovering_since_;

@@ -37,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "pdes/event.hpp"
 #include "pdes/kernel.hpp"
+#include "pdes/mapping.hpp"
 
 namespace cagvt::core {
 
@@ -69,6 +70,10 @@ struct ClusterCheckpoint {
   double gvt = 0;
   std::vector<WorkerSnapshot> workers;            // by global worker index
   std::vector<net::TransportSnapshot> transport;  // by node rank
+  /// LP owner table at the cut. Captured before any migration installs for
+  /// the round run (per-worker checkpoint slices precede the migration
+  /// fence), so a restore rewinds placement to match the kernel slices.
+  pdes::OwnerTable::Snapshot owners;
   int workers_done = 0;
   int nodes_done = 0;
 
@@ -108,6 +113,11 @@ class RecoveryManager {
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
 
+  /// Wire up the cluster's owner table so checkpoints capture LP placement
+  /// and restores rewind it. Optional: without it placement is assumed
+  /// static (no migration subsystem active).
+  void set_owner_table(pdes::OwnerTable* owners) { owners_ = owners; }
+
   /// Decide (once, cluster-wide) what round `round` does: a restore if an
   /// unhandled crash has restarted by now, else a checkpoint on the
   /// --ckpt-every cadence, else nothing special. Cached by round number so
@@ -143,6 +153,7 @@ class RecoveryManager {
 
   CheckpointStore store_;
   std::unordered_map<std::uint64_t, RoundPlan> plans_;
+  pdes::OwnerTable* owners_ = nullptr;
 
   struct CrashWindow {
     metasim::SimTime start = 0;

@@ -3,6 +3,7 @@
 #include "core/mattern_gvt.hpp"
 #include "core/node_runtime.hpp"
 #include "fault/fault_engine.hpp"
+#include "lb/controller.hpp"
 #include "util/log.hpp"
 
 namespace cagvt::core {
@@ -14,6 +15,10 @@ Simulation::Simulation(SimulationConfig cfg, const pdes::Model& model)
 
 SimulationResult Simulation::run(double max_wall_seconds) {
   const pdes::LpMap map = make_map(cfg_);
+  // Dynamic LP placement: identity overlay over the static map; the
+  // balancer (when enabled) rewrites it at GVT fences. With --lb=off the
+  // table never changes and routing is identical to the static map.
+  pdes::OwnerTable owners(map);
 
   metasim::Engine engine;
   Fabric fabric(engine, cfg_.cluster, cfg_.nodes);
@@ -52,13 +57,23 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     if (spec.kind == fault::FaultKind::kCrash) has_crash = true;
   if (cfg_.ckpt_every > 0 || has_crash)
     recovery = std::make_unique<RecoveryManager>(cfg_, engine, metrics.get());
+  // Checkpoints must capture (and restores rewind) LP placement whenever
+  // the owner table can change under migration.
+  if (recovery != nullptr && cfg_.lb.enabled()) recovery->set_owner_table(&owners);
+
+  // Load balancer (src/lb): only instantiated when requested, so --lb=off
+  // runs never touch the subsystem and stay bit-identical to earlier
+  // builds.
+  std::unique_ptr<lb::Controller> balancer;
+  if (cfg_.lb.enabled())
+    balancer = std::make_unique<lb::Controller>(cfg_.lb, owners, *metrics, trace.get());
 
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
-    nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, model_, n,
-                                                  profiler, *trace, *metrics, faults.get(),
-                                                  recovery.get()));
+    nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, owners, model_,
+                                                  n, profiler, *trace, *metrics, faults.get(),
+                                                  recovery.get(), balancer.get()));
   }
   for (auto& node : nodes) node->start();
 
@@ -129,6 +144,13 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.restores = recovery->restores_completed();
     result.recovery_seconds = metasim::to_seconds(recovery->recovery_time_total());
   }
+  result.owner_table_version = owners.version();
+  if (balancer != nullptr) {
+    result.lb_migrations = balancer->migrations();
+    result.lb_migration_rounds = balancer->migration_rounds();
+    result.lb_forwards = balancer->forwards();
+    result.avg_lvt_roughness = balancer->avg_roughness();
+  }
 
   // Detach the engine-bound clock (the engine dies with this frame) and
   // mirror the headline results into the registry so a single metrics CSV
@@ -158,6 +180,13 @@ SimulationResult Simulation::run(double max_wall_seconds) {
       metrics->gauge("run.checkpoints").set(static_cast<double>(result.checkpoints));
       metrics->gauge("run.restores").set(static_cast<double>(result.restores));
       metrics->gauge("run.recovery_seconds").set(result.recovery_seconds);
+    }
+    if (balancer != nullptr) {
+      metrics->gauge("run.lb_migrations").set(static_cast<double>(result.lb_migrations));
+      metrics->gauge("run.lb_migration_rounds")
+          .set(static_cast<double>(result.lb_migration_rounds));
+      metrics->gauge("run.lb_forwards").set(static_cast<double>(result.lb_forwards));
+      metrics->gauge("run.lvt_roughness").set(result.avg_lvt_roughness);
     }
   }
   if (cfg_.obs.trace) result.trace = trace;

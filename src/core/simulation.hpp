@@ -63,6 +63,17 @@ struct SimulationResult {
   /// Simulated failure-onset -> cluster-restored time, summed over crashes.
   double recovery_seconds = 0;
 
+  // --- dynamic load balancing (all 0 when --lb=off) -----------------------
+  std::uint64_t lb_migrations = 0;       // LP moves executed
+  std::uint64_t lb_migration_rounds = 0; // GVT rounds that moved at least one LP
+  std::uint64_t lb_forwards = 0;         // stale-epoch events re-routed to the new owner
+  /// Average per-round LVT roughness (time-horizon width: population stddev
+  /// of worker LVTs) as seen by the balancer; 0 when --lb=off.
+  double avg_lvt_roughness = 0;
+  /// Final owner-table version (number of migration batches applied, plus
+  /// any rewinds from restores).
+  std::uint32_t owner_table_version = 0;
+
   /// Fault-window activations announced during the run (0 when no --fault
   /// schedule was configured; square waves / stall pulses count per cycle).
   std::uint64_t fault_activations = 0;

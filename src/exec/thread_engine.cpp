@@ -24,6 +24,10 @@ ThreadEngine::ThreadEngine(const core::SimulationConfig& cfg, const pdes::Model&
   if (cfg_.ckpt_every > 0)
     throw std::invalid_argument(
         "GVT-aligned checkpoints are not supported with --backend=threads");
+  if (cfg_.lb.enabled())
+    throw std::invalid_argument(
+        "dynamic LP migration (--lb) runs at simulated-clock GVT fences and "
+        "is not supported with --backend=threads");
   if (cfg_.obs.trace || cfg_.obs.metrics)
     throw std::invalid_argument(
         "structured tracing/metrics are stamped with the simulated clock and "

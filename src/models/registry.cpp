@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "models/hotspot_phold.hpp"
 #include "models/imbalanced_phold.hpp"
 #include "models/mixed_phold.hpp"
 #include "models/reverse_phold.hpp"
@@ -27,7 +28,7 @@ PholdParams phold_params_from(const Options& options, std::string_view prefix = 
 }  // namespace
 
 std::vector<std::string> model_names() {
-  return {"phold", "mixed-phold", "imbalanced-phold", "reverse-phold"};
+  return {"phold", "mixed-phold", "imbalanced-phold", "reverse-phold", "hotspot-phold"};
 }
 
 std::unique_ptr<pdes::Model> make_model(std::string_view name, const Options& options,
@@ -61,7 +62,21 @@ std::unique_ptr<pdes::Model> make_model(std::string_view name, const Options& op
     ip.hot_factor = options.get_double("hot-factor", ip.hot_factor);
     return std::make_unique<ImbalancedPholdModel>(map, ip);
   }
-  throw std::invalid_argument("unknown model: " + std::string(name));
+  if (name == "hotspot-phold") {
+    HotspotPholdParams hp;
+    hp.base = phold_params_from(options);
+    hp.hotspot_pct = options.get_double("hotspot-pct", hp.hotspot_pct);
+    hp.zipf_s = options.get_double("zipf-s", hp.zipf_s);
+    hp.hot_cost = options.get_double("hot-cost", hp.hot_cost);
+    return std::make_unique<HotspotPholdModel>(map, hp);
+  }
+  std::string known;
+  for (const std::string& m : model_names()) {
+    if (!known.empty()) known += ", ";
+    known += m;
+  }
+  throw std::invalid_argument("unknown model: " + std::string(name) +
+                              " (registered models: " + known + ")");
 }
 
 }  // namespace cagvt::models

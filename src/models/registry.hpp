@@ -13,7 +13,7 @@
 namespace cagvt::models {
 
 /// Known model names: "phold", "mixed-phold", "imbalanced-phold",
-/// "reverse-phold".
+/// "reverse-phold", "hotspot-phold".
 std::vector<std::string> model_names();
 
 /// Build a model from generic options:
@@ -21,6 +21,8 @@ std::vector<std::string> model_names();
 ///   mixed-phold:       x, y, + comp-{remote,regional,epg}, comm-{remote,regional,epg}
 ///   imbalanced-phold:  phold keys + hot-fraction, hot-factor
 ///   reverse-phold:     phold keys (reverse-computation rollback mode)
+///   hotspot-phold:     phold keys + hotspot-pct, zipf-s, hot-cost
+///                      (Zipf-weighted per-LP heat: targets + event cost)
 /// `end_vt` is the virtual horizon (mixed phasing depends on it).
 /// Throws std::invalid_argument for an unknown name.
 std::unique_ptr<pdes::Model> make_model(std::string_view name, const Options& options,

@@ -116,6 +116,14 @@ struct ClusterSpec {
   /// Worker CPU cost of reloading its slice during a restore round.
   SimTime restore_base = 25000;
   SimTime restore_per_lp = 500;
+  /// Worker CPU cost of packing/unpacking migrating LPs at a GVT fence
+  /// (charged once per fence a worker participates in, plus per LP moved
+  /// in or out of it).
+  SimTime migrate_base = 12000;
+  SimTime migrate_per_lp = 400;
+  /// Wire size of one migrating LP's package (state + uncommitted history
+  /// + pending events), for the cross-node leg of a migration.
+  int migrate_msg_bytes = 768;
 
   /// Release cost of an MPI barrier / allreduce across `ranks` nodes:
   /// a dissemination pattern takes ceil(log2(ranks)) rounds of one

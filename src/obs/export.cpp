@@ -77,6 +77,8 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kCrash: return "crash";
     case RecordKind::kRestore: return "restore";
     case RecordKind::kRetransmit: return "retransmit";
+    case RecordKind::kLbRoughness: return "lb_roughness";
+    case RecordKind::kLbMigrate: return "lb_migrate";
   }
   return "?";
 }
@@ -245,6 +247,22 @@ std::string to_chrome_trace_json(const TraceRecorder& recorder) {
         append_name(out, "retransmit", rec.label);
         appendf(out, ",\"s\":\"t\",\"args\":{\"dst\":%" PRIu64 ",\"bytes\":%" PRId64 "}}",
                 rec.u, rec.value);
+        break;
+      case RecordKind::kLbRoughness:
+        // Counter track: the cluster's LVT roughness over time, the signal
+        // the load balancer acts on.
+        append_event_prefix(out, "C", rec);
+        append_name(out, "lvt_roughness", "");
+        appendf(out, ",\"args\":{\"width\":%.9g,\"smoothed\":%.9g}}",
+                json_double(rec.a), json_double(rec.b));
+        break;
+      case RecordKind::kLbMigrate:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "lb_migrate", "");
+        appendf(out, ",\"s\":\"g\",\"args\":{\"round\":%" PRIu64 ",\"lp\":%" PRIu64
+                ",\"src\":%d,\"dst\":%d,\"bytes\":%" PRId64 "}}",
+                rec.round, rec.u, static_cast<int>(rec.a), static_cast<int>(rec.b),
+                rec.value);
         break;
     }
   }

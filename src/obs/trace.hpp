@@ -46,6 +46,10 @@ enum class RecordKind : std::uint8_t {
                  // u = checkpoint round, value = bytes)
   kRetransmit,   // reliable transport resent an unacked frame (u = dst rank,
                  // value = bytes, label = stream class)
+  kLbRoughness,  // per-round LVT roughness sample (a = width, b = smoothed
+                 // width, value = 1 if the balancer triggered)
+  kLbMigrate,    // one LP moved at a GVT fence (u = LP, a = src worker,
+                 // b = dst worker, value = package bytes)
 };
 
 const char* to_string(RecordKind kind);
@@ -179,6 +183,18 @@ class TraceRecorder {
   void retransmit(int node, int dst, std::int64_t bytes, const char* stream) {
     emit({.kind = RecordKind::kRetransmit, .node = narrow(node),
           .u = static_cast<std::uint64_t>(dst), .value = bytes, .label = stream});
+  }
+  /// One round's LVT roughness (time-horizon width) sample, cluster scope.
+  void lb_roughness(std::uint64_t round, double width, double smoothed, bool triggered) {
+    emit({.kind = RecordKind::kLbRoughness, .round = round, .a = width, .b = smoothed,
+          .value = triggered ? 1 : 0});
+  }
+  /// One LP migrated from `src_worker` to `dst_worker` at round's fence.
+  void lb_migrate(std::uint64_t round, std::uint64_t lp, int src_worker, int dst_worker,
+                  std::int64_t bytes) {
+    emit({.kind = RecordKind::kLbMigrate, .round = round,
+          .a = static_cast<double>(src_worker), .b = static_cast<double>(dst_worker),
+          .u = lp, .value = bytes});
   }
 
   // --- inspection ----------------------------------------------------------

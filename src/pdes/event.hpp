@@ -29,6 +29,8 @@ struct Event {
   LpId src_lp = -1;
   LpId dst_lp = -1;
   std::uint64_t payload = 0;
+  std::uint32_t epoch = 0;    // OwnerTable version at send time; a receiver
+                              // holding a newer table forwards instead of drops
   bool anti = false;          // true: anti-message (cancels the positive twin)
   Color color = Color::kWhite;  // stamped by the GVT layer at send time
 

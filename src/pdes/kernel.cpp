@@ -1,5 +1,6 @@
 #include "pdes/kernel.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <utility>
@@ -7,20 +8,14 @@
 namespace cagvt::pdes {
 
 ThreadKernel::ThreadKernel(const Model& model, const LpMap& map, int worker, KernelConfig cfg)
-    : model_(model),
-      map_(map),
-      worker_(worker),
-      cfg_(cfg),
-      first_lp_(map.first_lp_of_worker(worker)) {
+    : model_(model), map_(map), worker_(worker), cfg_(cfg) {
   CAGVT_CHECK(worker >= 0 && worker < map.total_workers());
-  lps_.resize(static_cast<std::size_t>(map.lps_per_worker()));
+  for (int k = 0; k < map.lps_per_worker(); ++k) lps_.emplace(map.lp_of(worker, k), Lp{});
 }
 
 void ThreadKernel::init() {
   const std::size_t state_size = model_.state_size();
-  for (int k = 0; k < map_.lps_per_worker(); ++k) {
-    const LpId lp_id = map_.lp_of(worker_, k);
-    Lp& lp = lp_ref(lp_id);
+  for (auto& [lp_id, lp] : lps_) {
     lp.state.assign(state_size, std::byte{0});
     InlineVec<Event, 2> initial;
     EventSink sink(lp_id, 0.0, hash_combine(cfg_.seed, static_cast<std::uint64_t>(lp_id)),
@@ -48,10 +43,8 @@ std::uint64_t ThreadKernel::lp_state_hash(LpId lp, std::span<const std::byte> st
 
 std::uint64_t ThreadKernel::state_hash() const {
   std::uint64_t total = 0;
-  for (int k = 0; k < map_.lps_per_worker(); ++k) {
-    const LpId lp = map_.lp_of(worker_, k);
-    total += lp_state_hash(lp, lp_state(lp));
-  }
+  for (const auto& [lp_id, lp] : lps_)
+    total += lp_state_hash(lp_id, {lp.state.data(), lp.state.size()});
   return total;
 }
 
@@ -81,6 +74,7 @@ Outcome ThreadKernel::process_next() {
 
   out.processed = true;
   out.cost_units = model_.cost_units(*ev);
+  lp.window_work += out.cost_units;
   ++stats_.processed;
   stats_.events_generated += rec.outputs.size();
   lp.last_processed = key_of(*ev);
@@ -139,16 +133,34 @@ void ThreadKernel::apply_positive(const Event& event, Outcome& out) {
     out.annihilated = true;
     return;
   }
+  if (cfg_.dynamic_placement && pending_.contains(event.uid)) {
+    // Redundant copy of a still-pending positive (the original detoured via
+    // the old owner while a regenerated twin took the direct path). Hold it
+    // aside: an anti for the pair is in flight and will consume it.
+    add_surplus(event);
+    return;
+  }
   Lp& lp = lp_ref(event.dst_lp);
+  if (cfg_.dynamic_placement && key_of(event) == lp.last_processed) {
+    add_surplus(event);  // redundant copy of the newest processed event
+    return;
+  }
   if (key_of(event) < lp.last_processed) {
     // Straggler: undo optimistic work past its timestamp, then enqueue it.
     ++stats_.stragglers;
     ++stats_.primary_rollbacks;
     ++stats_.rollback_episodes;
     const int undone_before = out.rolled_back;
-    rollback(lp, key_of(event), /*annihilate_target=*/false, out);
+    const bool duplicate =
+        rollback(lp, key_of(event), /*annihilate_target=*/false, out);
     note_rollback(event.dst_lp, out.rolled_back - undone_before, "straggler");
     out.was_straggler = true;
+    if (duplicate) {
+      // The "straggler" is a redundant copy of an event that is still
+      // processed (left in place by the rollback); hold it for its anti.
+      add_surplus(event);
+      return;
+    }
   }
   pending_.push(event);
 }
@@ -156,6 +168,10 @@ void ThreadKernel::apply_positive(const Event& event, Outcome& out) {
 void ThreadKernel::apply_anti(const Event& event, Outcome& out) {
   CAGVT_CHECK_MSG(event.recv_ts >= last_fossil_gvt_,
                   "GVT violation: anti-message below fossil horizon");
+  if (consume_surplus(event.uid)) {
+    out.annihilated = true;
+    return;
+  }
   if (pending_.cancel(event.uid)) {
     ++stats_.annihilated_pending;
     out.annihilated = true;
@@ -164,29 +180,45 @@ void ThreadKernel::apply_anti(const Event& event, Outcome& out) {
   Lp& lp = lp_ref(event.dst_lp);
   if (key_of(event) <= lp.last_processed) {
     // The positive twin was already executed: roll back to (and including)
-    // it. Transport FIFO guarantees the twin did arrive before this anti.
+    // it. Transport FIFO guarantees the twin did arrive before this anti —
+    // except across a migration fence's path split, where the anti can
+    // overtake a forwarded positive even after the LP processed past it.
     ++stats_.secondary_rollbacks;
     ++stats_.rollback_episodes;
     const int undone_before = out.rolled_back;
-    rollback(lp, key_of(event), /*annihilate_target=*/true, out);
+    const bool found = rollback(lp, key_of(event), /*annihilate_target=*/true, out);
     note_rollback(event.dst_lp, out.rolled_back - undone_before, "anti");
-    out.annihilated = true;
-    return;
+    if (found) {
+      out.annihilated = true;
+      return;
+    }
+    // Target not processed after all: the rollback rewound past the anti's
+    // timestamp (spurious but safe) and the positive is still in flight on
+    // the forwarding detour; wait for it below.
+    ++stats_.migration_reorders;
   }
-  // Anti overtook its positive (possible only across distinct transport
-  // paths; kept as a defensive path and surfaced in stats).
-  early_antis_.insert(event.uid);
+  // Anti overtook its positive (across distinct transport paths).
+  early_antis_.emplace(event.uid, event.dst_lp);
 }
 
-void ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out) {
+bool ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out) {
   bool target_found = false;
   while (!lp.history.empty()) {
     ProcessedRecord& rec = lp.history.back();
     const EventKey k = key_of(rec.event);
     if (k < target) break;
     const bool is_target = (k == target);
-    CAGVT_CHECK_MSG(annihilate_target || !is_target,
-                    "straggler key collides with a processed event");
+    if (is_target && !annihilate_target) {
+      // A "straggler" whose key equals a processed record is a redundant
+      // copy of that record's event (keys embed the uid, and uids determine
+      // content) — only possible when a migration fence split the sender's
+      // FIFO stream. Keep the processed copy; the caller parks the
+      // duplicate for its in-flight anti.
+      CAGVT_CHECK_MSG(cfg_.dynamic_placement,
+                      "straggler key collides with a processed event");
+      target_found = true;
+      break;
+    }
 
     // Undo: invert the state mutation (reverse computation when the model
     // supports it, checkpoint restore otherwise) and cancel everything
@@ -212,7 +244,7 @@ void ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Out
       break;
     }
   }
-  CAGVT_CHECK_MSG(!annihilate_target || target_found,
+  CAGVT_CHECK_MSG(!annihilate_target || target_found || cfg_.dynamic_placement,
                   "anti-message target missing from history (transport order violated)");
   if (lp.history.empty()) {
     lp.last_processed = EventKey{};
@@ -221,6 +253,23 @@ void ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Out
     lp.last_processed = key_of(lp.history.back().event);
     lp.lvt = lp.history.back().event.recv_ts;
   }
+  return target_found;
+}
+
+void ThreadKernel::add_surplus(const Event& event) {
+  CAGVT_ASSERT(cfg_.dynamic_placement);
+  SurplusPositive& s = surplus_[event.uid];
+  s.lp = event.dst_lp;
+  ++s.count;
+  ++stats_.migration_reorders;
+}
+
+bool ThreadKernel::consume_surplus(std::uint64_t uid) {
+  if (surplus_.empty()) return false;
+  const auto it = surplus_.find(uid);
+  if (it == surplus_.end()) return false;
+  if (--it->second.count == 0) surplus_.erase(it);
+  return true;
 }
 
 void ThreadKernel::note_rollback(LpId lp, int depth, const char* cause) {
@@ -233,7 +282,7 @@ std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
   CAGVT_CHECK_MSG(gvt >= last_fossil_gvt_, "GVT went backwards");
   last_fossil_gvt_ = gvt;
   std::uint64_t newly_committed = 0;
-  for (Lp& lp : lps_) {
+  for (auto& [lp_id, lp] : lps_) {
     while (!lp.history.empty() && lp.history.front().event.recv_ts < gvt) {
       committed_fingerprint_ += commit_fingerprint(lp.history.front().event);
       lp.history.pop_front();
@@ -252,8 +301,9 @@ std::uint64_t ThreadKernel::fossil_collect(VirtualTime gvt) {
 
 std::int64_t ThreadKernel::Snapshot::bytes() const {
   std::size_t total = lps.size() * sizeof(Lp) + pending.size() * sizeof(Event) +
-                      early_antis.size() * sizeof(std::uint64_t);
-  for (const Lp& lp : lps)
+                      early_antis.size() * (sizeof(std::uint64_t) + sizeof(LpId)) +
+                      surplus.size() * (sizeof(std::uint64_t) + sizeof(SurplusPositive));
+  for (const auto& [lp_id, lp] : lps)
     total += lp.state.size() + lp.history.size() * sizeof(ProcessedRecord);
   return static_cast<std::int64_t>(total);
 }
@@ -264,6 +314,7 @@ ThreadKernel::Snapshot ThreadKernel::snapshot() const {
   snap.lps = lps_;
   snap.pending = pending_;
   snap.early_antis = early_antis_;
+  snap.surplus = surplus_;
   snap.last_fossil_gvt = last_fossil_gvt_;
   snap.stats = stats_;
   snap.committed_fingerprint = committed_fingerprint_;
@@ -273,14 +324,85 @@ ThreadKernel::Snapshot ThreadKernel::snapshot() const {
 
 void ThreadKernel::restore(const Snapshot& snap) {
   CAGVT_CHECK_MSG(queue_.empty(), "restore mid-cascade");
-  CAGVT_CHECK_MSG(snap.lps.size() == lps_.size(), "snapshot from a different layout");
+  // The snapshot's LP set replaces this kernel's wholesale: with dynamic
+  // migration the checkpointed ownership may differ from the current one,
+  // and the owner table is rewound to the same cut by the recovery layer.
   lps_ = snap.lps;
   pending_ = snap.pending;
   early_antis_ = snap.early_antis;
+  surplus_ = snap.surplus;
   last_fossil_gvt_ = snap.last_fossil_gvt;
   stats_ = snap.stats;
   committed_fingerprint_ = snap.committed_fingerprint;
   live_history_ = snap.live_history;
+}
+
+std::int64_t ThreadKernel::LpPackage::bytes() const {
+  return static_cast<std::int64_t>(sizeof(Lp) + data.state.size() +
+                                   data.history.size() * sizeof(ProcessedRecord) +
+                                   pending.size() * sizeof(Event) +
+                                   early_antis.size() * sizeof(std::uint64_t) +
+                                   surplus.size() * (sizeof(std::uint64_t) + sizeof(int)));
+}
+
+ThreadKernel::LpPackage ThreadKernel::extract_lp(LpId lp) {
+  CAGVT_CHECK_MSG(queue_.empty(), "migration mid-cascade");
+  const auto it = lps_.find(lp);
+  CAGVT_CHECK_MSG(it != lps_.end(), "extracting an LP this kernel does not own");
+  LpPackage pkg;
+  pkg.lp = lp;
+  pkg.data = std::move(it->second);
+  lps_.erase(it);
+  live_history_ -= pkg.data.history.size();
+  pkg.pending = pending_.extract_lp(lp);
+  for (auto ea = early_antis_.begin(); ea != early_antis_.end();) {
+    if (ea->second == lp) {
+      pkg.early_antis.push_back(ea->first);
+      ea = early_antis_.erase(ea);
+    } else {
+      ++ea;
+    }
+  }
+  std::sort(pkg.early_antis.begin(), pkg.early_antis.end());
+  for (auto sp = surplus_.begin(); sp != surplus_.end();) {
+    if (sp->second.lp == lp) {
+      pkg.surplus.emplace_back(sp->first, sp->second.count);
+      sp = surplus_.erase(sp);
+    } else {
+      ++sp;
+    }
+  }
+  std::sort(pkg.surplus.begin(), pkg.surplus.end());
+  return pkg;
+}
+
+void ThreadKernel::install_lp(LpPackage&& pkg) {
+  CAGVT_CHECK_MSG(queue_.empty(), "migration mid-cascade");
+  const auto [it, inserted] = lps_.emplace(pkg.lp, std::move(pkg.data));
+  CAGVT_CHECK_MSG(inserted, "installing an LP this kernel already owns");
+  live_history_ += it->second.history.size();
+  if (live_history_ > stats_.max_history) stats_.max_history = live_history_;
+  for (const Event& e : pkg.pending) pending_.push(e);
+  for (const std::uint64_t uid : pkg.early_antis) early_antis_.emplace(uid, pkg.lp);
+  for (const auto& [uid, count] : pkg.surplus)
+    surplus_.emplace(uid, SurplusPositive{pkg.lp, count});
+}
+
+std::vector<std::pair<LpId, double>> ThreadKernel::drain_lp_work() {
+  std::vector<std::pair<LpId, double>> work;
+  work.reserve(lps_.size());
+  for (auto& [lp_id, lp] : lps_) {
+    work.emplace_back(lp_id, lp.window_work);
+    lp.window_work = 0;
+  }
+  return work;
+}
+
+std::vector<LpId> ThreadKernel::owned_lps() const {
+  std::vector<LpId> out;
+  out.reserve(lps_.size());
+  for (const auto& [lp_id, lp] : lps_) out.push_back(lp_id);
+  return out;
 }
 
 }  // namespace cagvt::pdes

@@ -1,8 +1,9 @@
 // ThreadKernel: the Time Warp engine state of one worker thread.
 //
-// Owns a contiguous block of LPs, their pending event set, processed-event
-// histories (with pre-state checkpoints and generated-event logs), and the
-// rollback machinery. The kernel is *purely logical*: it is synchronous,
+// Owns a set of LPs (initially the LpMap's contiguous block; LPs can be
+// extracted/installed at GVT fences by the migration subsystem), their
+// pending event set, processed-event histories (with pre-state checkpoints
+// and generated-event logs), and the rollback machinery. The kernel is *purely logical*: it is synchronous,
 // engine-agnostic code with no timing — the core layer's worker coroutines
 // drive it and charge the simulated-time costs its outcome reports
 // describe. That split keeps all causality logic unit-testable without the
@@ -20,7 +21,9 @@
 #pragma once
 
 #include <deque>
-#include <unordered_set>
+#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -36,6 +39,12 @@ namespace cagvt::pdes {
 struct KernelConfig {
   VirtualTime end_vt = 100.0;
   std::uint64_t seed = 1;
+  /// LPs can migrate between kernels at GVT fences. A fence splits a
+  /// sender's FIFO stream to a migrated LP across two paths (the old-owner
+  /// forwarding detour and the direct route to the new owner), so the
+  /// kernel must tolerate duplicate positives and antis that overtook
+  /// their positive — orderings the strict FIFO CHECKs reject otherwise.
+  bool dynamic_placement = false;
 };
 
 /// Result of one deposit() or process_next() call.
@@ -63,6 +72,18 @@ class ThreadKernel {
     EventKey last_processed{};
     std::vector<std::byte> state;
     std::deque<ProcessedRecord> history;
+    /// EPG units executed on this LP since the last drain_lp_work() call;
+    /// feeds the load balancer's per-LP heat estimate.
+    double window_work = 0;
+  };
+
+  /// Redundant copies of a positive that is already pending or processed
+  /// (dynamic placement only — see KernelConfig::dynamic_placement). Each
+  /// surplus copy annihilates against the in-flight anti of its pair; the
+  /// destination LP travels with the entry on migration.
+  struct SurplusPositive {
+    LpId lp = -1;
+    int count = 0;
   };
 
  public:
@@ -105,9 +126,10 @@ class ThreadKernel {
   /// horizon" CHECKs the proof that recovery never rolls back past the
   /// checkpoint's GVT.
   struct Snapshot {
-    std::vector<Lp> lps;
+    std::map<LpId, Lp> lps;
     PendingSet pending;
-    std::unordered_set<std::uint64_t> early_antis;
+    std::unordered_map<std::uint64_t, LpId> early_antis;
+    std::unordered_map<std::uint64_t, SurplusPositive> surplus;
     VirtualTime last_fossil_gvt = -kVtInfinity;
     KernelStats stats;
     std::uint64_t committed_fingerprint = 0;
@@ -119,6 +141,37 @@ class ThreadKernel {
 
   Snapshot snapshot() const;
   void restore(const Snapshot& snap);
+
+  /// Everything one LP carries when it migrates to another kernel: its
+  /// Time Warp state (LVT, model state, uncommitted history), the pending
+  /// events addressed to it, and any early anti-messages waiting for it.
+  struct LpPackage {
+    LpId lp = -1;
+    Lp data;
+    std::vector<Event> pending;
+    std::vector<std::uint64_t> early_antis;
+    std::vector<std::pair<std::uint64_t, int>> surplus;  // uid -> copy count
+
+    /// Approximate serialized size (for migration trace records / costs).
+    std::int64_t bytes() const;
+  };
+
+  /// Remove `lp` from this kernel and package it for installation
+  /// elsewhere. Only valid at a quiesced GVT fence (no cascade pending).
+  LpPackage extract_lp(LpId lp);
+
+  /// Adopt an LP packaged by another kernel's extract_lp().
+  void install_lp(LpPackage&& pkg);
+
+  /// Per-LP EPG units executed since the previous call (ascending LP id);
+  /// resets the windows. The load balancer samples this once per GVT round.
+  std::vector<std::pair<LpId, double>> drain_lp_work();
+
+  /// LPs currently owned, ascending.
+  std::vector<LpId> owned_lps() const;
+
+  /// True iff this kernel currently hosts `lp`.
+  bool owns_lp(LpId lp) const { return owns(lp); }
 
   /// Attach measurement-only observability: `trace` (may be null) receives
   /// rollback episodes (LP, depth, cause) and fossil collections;
@@ -149,7 +202,7 @@ class ThreadKernel {
   std::uint64_t state_hash() const;
 
   int worker() const { return worker_; }
-  int lp_count() const { return map_.lps_per_worker(); }
+  int lp_count() const { return static_cast<int>(lps_.size()); }
 
   // --- test introspection -------------------------------------------------
   VirtualTime lp_lvt(LpId lp) const { return lp_ref(lp).lvt; }
@@ -169,14 +222,19 @@ class ThreadKernel {
   static std::uint64_t lp_state_hash(LpId lp, std::span<const std::byte> state);
 
  private:
-  bool owns(LpId lp) const { return map_.worker_of(lp) == worker_; }
+  // Ownership is kernel-local presence, not a map lookup: the OwnerTable
+  // and the kernels' LP sets are updated together at migration fences, so
+  // the two views never disagree while events are in flight.
+  bool owns(LpId lp) const { return lps_.contains(lp); }
   Lp& lp_ref(LpId lp) {
-    CAGVT_ASSERT(owns(lp));
-    return lps_[static_cast<std::size_t>(lp - first_lp_)];
+    const auto it = lps_.find(lp);
+    CAGVT_ASSERT(it != lps_.end());
+    return it->second;
   }
   const Lp& lp_ref(LpId lp) const {
-    CAGVT_ASSERT(owns(lp));
-    return lps_[static_cast<std::size_t>(lp - first_lp_)];
+    const auto it = lps_.find(lp);
+    CAGVT_ASSERT(it != lps_.end());
+    return it->second;
   }
 
   /// Apply a message destined to one of my LPs; cascades are pushed onto
@@ -186,8 +244,14 @@ class ThreadKernel {
   void apply_anti(const Event& event, Outcome& out);
   /// Undo history of `lp` down to `target`. If `annihilate_target` the
   /// record with key == target is removed without reinsertion (anti-message
-  /// cancellation); otherwise records with key > target are undone.
-  void rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out);
+  /// cancellation); otherwise records with key > target are undone and a
+  /// record matching target exactly is left in place (it is the processed
+  /// twin of a duplicate positive — dynamic placement only). Returns
+  /// whether a record with key == target was found.
+  bool rollback(Lp& lp, EventKey target, bool annihilate_target, Outcome& out);
+  /// Remember a redundant positive copy / consume one against an anti.
+  void add_surplus(const Event& event);
+  bool consume_surplus(std::uint64_t uid);
   void drain_queue(Outcome& out);
   void route_or_queue(const Event& event, Outcome& out);
   void note_rollback(LpId lp, int depth, const char* cause);
@@ -196,11 +260,17 @@ class ThreadKernel {
   LpMap map_;
   int worker_;
   KernelConfig cfg_;
-  LpId first_lp_;
-  std::vector<Lp> lps_;
+  /// Owned LPs, keyed by id. Ordered so every aggregate walk (init, fossil
+  /// collection, state hash, work drain) iterates deterministically.
+  std::map<LpId, Lp> lps_;
   PendingSet pending_;
   std::vector<Event> queue_;  // same-thread cascade work list
-  std::unordered_set<std::uint64_t> early_antis_;
+  /// Early anti-messages: uid -> destination LP (the LP id travels with a
+  /// migrating LP so pending annihilations follow it).
+  std::unordered_map<std::uint64_t, LpId> early_antis_;
+  /// Redundant positive copies awaiting their pair's anti (uid-keyed;
+  /// dynamic placement only, empty otherwise).
+  std::unordered_map<std::uint64_t, SurplusPositive> surplus_;
   VirtualTime last_fossil_gvt_ = -kVtInfinity;
   KernelStats stats_;
   std::uint64_t committed_fingerprint_ = 0;

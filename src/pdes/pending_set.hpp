@@ -29,6 +29,9 @@ class PendingSet {
   /// Cancel a pending positive by uid. Returns true iff it was pending.
   bool cancel(std::uint64_t uid) { return live_.erase(uid) > 0; }
 
+  /// True iff a live positive with this uid is pending.
+  bool contains(std::uint64_t uid) const { return live_.contains(uid); }
+
   /// Smallest live key, or nullopt when empty.
   std::optional<EventKey> min_key() {
     skim();
@@ -52,6 +55,35 @@ class PendingSet {
   }
 
   std::size_t size() const { return live_.size(); }
+
+  /// Remove and return every live event destined for `lp` (used when the
+  /// LP migrates to another worker). O(n log n) heap rebuild — migration
+  /// happens at GVT fences, far off the event-processing fast path.
+  std::vector<Event> extract_lp(LpId lp) {
+    std::vector<Event> moved;
+    std::vector<Event> kept;
+    kept.reserve(live_.size());
+    while (!heap_.empty()) {
+      const Event& top = heap_.top();
+      // Consume the uid on first sight: a cancelled-then-regenerated event
+      // shares the heap with its tombstone, and only the first entry in key
+      // order is the live one (matching pop_next's skip semantics).
+      if (live_.erase(top.uid) > 0) {
+        if (top.dst_lp == lp) {
+          moved.push_back(top);
+        } else {
+          kept.push_back(top);
+        }
+      }
+      heap_.pop();
+    }
+    heap_ = {};
+    for (const Event& e : kept) {
+      live_.insert(e.uid);
+      heap_.push(e);
+    }
+    return moved;
+  }
 
  private:
   struct Later {

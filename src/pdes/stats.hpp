@@ -20,6 +20,10 @@ struct KernelStats {
   std::uint64_t annihilated_pending = 0;   // anti met its positive in pending
   std::uint64_t annihilated_early = 0;     // anti arrived before its positive
   std::uint64_t local_cancellations = 0;   // same-thread annihilations
+  /// Out-of-order deliveries absorbed under dynamic placement: a migration
+  /// fence splits a sender's FIFO stream across the old-owner detour and
+  /// the direct path, so duplicates and orphaned antis can arrive.
+  std::uint64_t migration_reorders = 0;
   std::size_t max_history = 0;             // peak uncommitted records (memory)
 
   /// Paper metric: committed over total executed. Equals the paper's
@@ -42,6 +46,7 @@ struct KernelStats {
     annihilated_pending += o.annihilated_pending;
     annihilated_early += o.annihilated_early;
     local_cancellations += o.local_cancellations;
+    migration_reorders += o.migration_reorders;
     if (o.max_history > max_history) max_history = o.max_history;
     return *this;
   }

@@ -1,0 +1,80 @@
+// Migration soak (ctest label "stress"): a larger cluster over a longer
+// virtual horizon, so the balancer fires many fences, LPs bounce between
+// workers repeatedly, and the fence-split tolerance paths (surplus
+// positives, early antis, forwarding) see real traffic — still bit-equal
+// to the sequential oracle, with and without a crash in the middle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "fault/fault_parse.hpp"
+#include "lb/lb_config.hpp"
+#include "models/registry.hpp"
+#include "pdes/seqref.hpp"
+
+namespace cagvt::core {
+namespace {
+
+SimulationConfig soak_config() {
+  SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 4;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 60.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(MigrationSoak, HotspotStaysGoldenAcrossAllAlgorithms) {
+  SimulationConfig cfg = soak_config();
+  cfg.lb = lb::parse_lb("roughness,trigger=0.3,cooldown=1,budget=12");
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const auto model =
+      models::make_model("hotspot-phold", Options::parse_kv(""), map, cfg.end_vt);
+
+  pdes::SequentialReference ref(*model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  ASSERT_GT(ref.committed(), 1000u);
+
+  std::uint64_t total_migrations = 0;
+  for (const GvtKind kind :
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+    cfg.gvt = kind;
+    Simulation sim(cfg, *model);
+    const SimulationResult r = sim.run(300.0);
+    ASSERT_TRUE(r.completed) << to_string(kind);
+    EXPECT_EQ(r.events.committed, ref.committed()) << to_string(kind);
+    EXPECT_EQ(r.committed_fingerprint, ref.fingerprint()) << to_string(kind);
+    EXPECT_EQ(r.state_hash, ref.state_hash()) << to_string(kind);
+    total_migrations += r.lb_migrations;
+  }
+  EXPECT_GT(total_migrations, 0u);
+}
+
+TEST(MigrationSoak, SurvivesCrashMidMigrationChurn) {
+  SimulationConfig cfg = soak_config();
+  cfg.gvt = GvtKind::kControlledAsync;
+  cfg.lb = lb::parse_lb("roughness,trigger=0.3,cooldown=1,budget=12");
+  cfg.ckpt_every = 4;
+  cfg.faults = fault::parse_fault_schedule("crash:node=2,t=2ms,down=500us");
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const auto model =
+      models::make_model("imbalanced-phold", Options::parse_kv(""), map, cfg.end_vt);
+
+  pdes::SequentialReference ref(*model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+
+  Simulation sim(cfg, *model);
+  const SimulationResult r = sim.run(300.0);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.restores, 1u);
+  EXPECT_GT(r.lb_migrations, 0u);
+  EXPECT_EQ(r.events.committed, ref.committed());
+  EXPECT_EQ(r.committed_fingerprint, ref.fingerprint());
+  EXPECT_EQ(r.state_hash, ref.state_hash());
+}
+
+}  // namespace
+}  // namespace cagvt::core

@@ -16,7 +16,7 @@ Options opts(std::string_view kv) { return Options::parse_kv(kv); }
 
 TEST(RegistryTest, ListsAllModels) {
   const auto names = model_names();
-  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.size(), 5u);
   for (const auto& name : names) {
     pdes::LpMap map(1, 2, 4);
     EXPECT_NO_THROW(make_model(name, opts(""), map, 50.0)) << name;

@@ -74,6 +74,57 @@ TEST(PendingSetDeathTest, DuplicateUidAborts) {
   EXPECT_DEATH(set.push(make_event(2.0, 7)), "duplicate event uid");
 }
 
+TEST(PendingSetTest, ExtractLpMovesOnlyThatLpsEvents) {
+  PendingSet set;
+  set.push(make_event(3.0, 1, /*dst=*/0));
+  set.push(make_event(2.0, 2, /*dst=*/1));
+  set.push(make_event(1.0, 3, /*dst=*/0));
+  const auto moved = set.extract_lp(0);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0].uid, 3u);  // returned in key order
+  EXPECT_EQ(moved[1].uid, 1u);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 2u);
+}
+
+TEST(PendingSetTest, ExtractLpSkipsTombstones) {
+  PendingSet set;
+  set.push(make_event(1.0, 1, /*dst=*/0));
+  set.push(make_event(2.0, 2, /*dst=*/0));
+  set.cancel(1);
+  const auto moved = set.extract_lp(0);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].uid, 2u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PendingSetTest, ExtractLpTakesFirstCopyOfRegeneratedUid) {
+  // cancel() leaves a heap tombstone; a rolled-back sender can regenerate
+  // the same uid and re-insert, so two heap entries share one live uid.
+  // Extraction must keep exactly the first entry in key order (matching
+  // pop_next's skip semantics) and drop the stale one.
+  PendingSet set;
+  set.push(make_event(2.0, 7, /*dst=*/0));
+  set.cancel(7);
+  set.push(make_event(1.0, 7, /*dst=*/0));
+  const auto moved = set.extract_lp(0);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_DOUBLE_EQ(moved[0].recv_ts, 1.0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PendingSetTest, ExtractLpPreservesOtherLpsAcrossRebuild) {
+  PendingSet set;
+  set.push(make_event(1.0, 1, /*dst=*/0));
+  set.push(make_event(2.0, 2, /*dst=*/1));
+  set.push(make_event(3.0, 3, /*dst=*/1));
+  set.cancel(3);
+  EXPECT_EQ(set.extract_lp(0).size(), 1u);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.pop_next(kVtInfinity)->uid, 2u);
+  EXPECT_EQ(set.pop_next(kVtInfinity), std::nullopt);
+}
+
 TEST(PendingSetTest, ReinsertAfterCancelIsAllowed) {
   // Rollback reinsertion after an earlier annihilation of a different copy
   // must work: cancel removes the uid from the live set entirely.
