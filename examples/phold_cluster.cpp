@@ -21,10 +21,14 @@
 //   --batch N          events per worker-loop iteration (4)
 //   --seed N           engine seed (1)
 //   --model NAME       a registered model (phold); --help lists them all
-//   model parameters   --remote --regional --epg --mean-delay
+//   model parameters   --remote --regional --epg --mean-delay --min-delay
 //                      --x --y (mixed), --hot-fraction --hot-factor
 //                      (imbalanced), --hotspot-pct --zipf-s --hot-cost
 //                      (hotspot)
+//   --sync MODE        optimistic (default) | cmb | window[,window=W]
+//                      conservative execution; cmb/window need a model with
+//                      positive lookahead (e.g. --min-delay=0.5) and reject
+//                      --lb / --fault / --ckpt-every / --backend=threads
 //   --fault SCHED      fault-injection schedule (';'-separated specs), e.g.
 //                        --fault 'straggler:node=3,t=2ms..6ms,slow=4x'
 //                        --fault 'link:src=0,dst=1,latency=4x,jitter=2us'
@@ -69,6 +73,8 @@ int main(int argc, char** argv) try {
                 "Faults        : --fault --fault-seed --ckpt-every\n"
                 "Load balance  : --lb off|roughness[,trigger=X,budget=N,cooldown=N,\n"
                 "                   ewma=X,min-lps=N]\n"
+                "Conservative  : --sync optimistic|cmb|window[,window=W]\n"
+                "                   (cmb/window need positive lookahead, e.g. --min-delay=0.5)\n"
                 "Observability : --trace --trace-out --trace-csv --metrics-out --verbose\n"
                 "\nRegistered models (--model NAME):\n");
     for (const std::string& name : models::model_names())
@@ -96,6 +102,7 @@ int main(int argc, char** argv) try {
   core::apply_cluster_overrides(cfg.cluster, opts);
   core::apply_fault_options(cfg, opts);
   core::apply_lb_options(cfg, opts);
+  core::apply_sync_options(cfg, opts);
 
   const std::string trace_out = opts.get_string("trace-out", "");
   const std::string trace_csv = opts.get_string("trace-csv", "");
@@ -123,6 +130,8 @@ int main(int argc, char** argv) try {
     std::printf("fault   : %s\n", fault::describe(spec).c_str());
   if (cfg.lb.enabled())
     std::printf("lb      : %s\n", lb::to_string(cfg.lb).c_str());
+  if (cfg.sync.enabled())
+    std::printf("sync    : %s\n", cons::to_string(cfg.sync).c_str());
 
   const core::SimulationResult r = exec::run_simulation(cfg, *model, backend);
 
@@ -176,6 +185,12 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(r.lb_migration_rounds),
                 static_cast<unsigned long long>(r.lb_forwards), r.avg_lvt_roughness,
                 r.owner_table_version);
+  if (cfg.sync.enabled())
+    std::printf("conservative        : %llu nulls, %llu requests, utilization %.4f, "
+                "null ratio %.4f, horizon width %.4f\n",
+                static_cast<unsigned long long>(r.cons_null_msgs),
+                static_cast<unsigned long long>(r.cons_req_msgs), r.cons_utilization,
+                r.cons_null_ratio, r.cons_horizon_width);
   std::printf("final GVT           : %.3f%s\n", r.final_gvt, r.completed ? "" : "  [INCOMPLETE]");
 
   if (trace) {

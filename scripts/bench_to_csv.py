@@ -23,9 +23,10 @@ import os
 import re
 import sys
 
-ROW = re.compile(r"^(BM_\w+)(?:/(\w+):(\d+))?/iterations:1\s")
+ROW = re.compile(r"^(BM_\w+)((?:/(?!iterations:)\w+:\d+)*)/iterations:1\s")
 COUNTER = re.compile(r"(\w+)=([-\d.eku]+[MKGmu]?)")
-JSON_NAME = re.compile(r"^(BM_\w+)(?:/(\w+):(\d+))?")
+JSON_NAME = re.compile(r"^(BM_\w+)((?:/(?!iterations:)\w+:\d+)*)")
+ARG = re.compile(r"/(?!iterations:)\w+:(\d+)")
 
 SUFFIX = {"k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "m": 1e-3, "u": 1e-6}
 
@@ -39,7 +40,8 @@ FIELDS = [
 ]
 
 # Extra counters exported only by some binaries (abl08's migration
-# metrics); emitted as trailing columns when any input provides them.
+# metrics, abl09's conservative update statistics); emitted as trailing
+# columns when any input provides them.
 EXTRA_FIELDS = [
     "lvt_roughness",
     "migrations",
@@ -47,6 +49,11 @@ EXTRA_FIELDS = [
     "forwards",
     "owner_table_version",
     "fault_activations",
+    "cons_utilization",
+    "cons_null_ratio",
+    "cons_horizon_width",
+    "null_msgs",
+    "req_msgs",
 ]
 
 
@@ -73,7 +80,7 @@ def rows_from_console(path: str):
             if not match:
                 continue
             series = match.group(1).removeprefix("BM_")
-            x = match.group(3) or ""
+            x = "/".join(ARG.findall(match.group(2)))
             counters = {k: parse_value(v) for k, v in COUNTER.findall(line)}
             yield figure, series, x, counters
 
@@ -89,7 +96,10 @@ def rows_from_json(path: str):
         if not match:
             continue
         series = match.group(1).removeprefix("BM_")
-        x = match.group(3) or ""
+        # Multi-argument sweeps (abl09's model/epg/remote/lps grid) join
+        # their argument values with '/'; single-argument figures keep the
+        # bare value, so existing consumers see an unchanged column.
+        x = "/".join(ARG.findall(match.group(2)))
         counters = {
             key: value
             for key, value in bench.items()

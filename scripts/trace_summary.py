@@ -4,14 +4,47 @@ into per-GVT-round time series: round span, mode, barrier wait, rollback and
 message counts, and the computed GVT/efficiency. This is the per-round view
 the time-horizon-roughness literature analyzes.
 
+A metrics snapshot CSV (from --metrics-out / obs::write_metrics_csv) may be
+passed alongside the trace; its conservative update statistics (the
+Kolakowska/Novotny measurements: cons.utilization, cons.null_ratio,
+cons.horizon_width, plus the null/request message counts) are reported in
+the footer.
+
 Usage:
-    build/examples/phold_cluster --gvt=ca-gvt --trace-csv=run.csv
-    python3 scripts/trace_summary.py run.csv > rounds.csv
+    build/examples/phold_cluster --gvt=ca-gvt --sync=cmb --min-delay=0.5 \\
+        --trace-csv=run.csv --metrics-out=metrics.csv
+    python3 scripts/trace_summary.py run.csv metrics.csv > rounds.csv
 """
 
 import csv
 import sys
 from collections import defaultdict
+
+# Metrics-snapshot gauges reported in the footer when present (non-zero
+# only under --sync=cmb / --sync=window).
+CONS_METRICS = [
+    "cons.utilization",
+    "cons.null_ratio",
+    "cons.horizon_width",
+    "cons.null_msgs",
+    "cons.req_msgs",
+]
+
+
+def is_metrics_csv(path: str) -> bool:
+    with open(path, newline="", encoding="utf-8") as handle:
+        return handle.readline().strip() == "name,value"
+
+
+def report_cons_metrics(path: str) -> None:
+    with open(path, newline="", encoding="utf-8") as handle:
+        values = {rec["name"]: float(rec["value"]) for rec in csv.DictReader(handle)}
+    present = [name for name in CONS_METRICS if name in values]
+    if not present:
+        print(f"# {path}: no conservative-sync metrics (optimistic run?)", file=sys.stderr)
+        return
+    summary = ", ".join(f"{name}={values[name]:.6g}" for name in present)
+    print(f"# conservative sync: {summary}", file=sys.stderr)
 
 
 def main(path: str) -> None:
@@ -102,4 +135,9 @@ def main(path: str) -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "trace.csv")
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["trace.csv"]
+    for p in paths:
+        if is_metrics_csv(p):
+            report_cons_metrics(p)
+        else:
+            main(p)

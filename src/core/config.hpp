@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cons/cons_config.hpp"
 #include "fault/fault_parse.hpp"
 #include "fault/fault_spec.hpp"
 #include "lb/lb_config.hpp"
@@ -96,6 +97,11 @@ struct SimulationConfig {
   /// without the subsystem. Parsed from --lb on the CLIs
   /// (see lb/lb_config.hpp for the policy parameters).
   lb::LbConfig lb;
+  /// Conservative synchronization (src/cons). Off (= optimistic) by
+  /// default: the cons::Controller is only instantiated when enabled, and
+  /// an optimistic run is bit-identical to a build without the subsystem.
+  /// Parsed from --sync on the CLIs (see cons/cons_config.hpp).
+  cons::ConsConfig sync;
 
   int workers_per_node() const {
     return mpi == MpiPlacement::kDedicated ? threads_per_node - 1 : threads_per_node;
@@ -116,6 +122,24 @@ struct SimulationConfig {
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
     if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
     lb.validate();
+    sync.validate();
+    if (sync.enabled()) {
+      // Conservative execution never rolls back, so the Time Warp recovery
+      // and migration machinery has nothing to hook into: checkpoints,
+      // crash faults, and LVT-roughness balancing are all defined against
+      // optimistic GVT rounds. Reject the combinations loudly rather than
+      // silently measuring a half-configured run.
+      if (lb.enabled())
+        throw std::invalid_argument("--sync=" + std::string(cons::to_string(sync.kind)) +
+                                    " cannot be combined with --lb (conservative runs have no "
+                                    "rollbacks for the balancer to suppress)");
+      if (!faults.empty())
+        throw std::invalid_argument("--sync=" + std::string(cons::to_string(sync.kind)) +
+                                    " cannot be combined with --fault");
+      if (ckpt_every != 0)
+        throw std::invalid_argument("--sync=" + std::string(cons::to_string(sync.kind)) +
+                                    " cannot be combined with --ckpt-every");
+    }
     for (std::size_t i = 0; i < faults.size(); ++i) {
       faults[i].validate(i);
       const std::string where =
@@ -154,14 +178,16 @@ inline GvtKind gvt_kind_from(std::string_view name) {
   if (name == "barrier") return GvtKind::kBarrier;
   if (name == "mattern") return GvtKind::kMattern;
   if (name == "ca-gvt" || name == "ca" || name == "cagvt") return GvtKind::kControlledAsync;
-  throw std::invalid_argument("unknown GVT algorithm: " + std::string(name));
+  throw std::invalid_argument("unknown GVT algorithm: '" + std::string(name) +
+                              "' (expected barrier, mattern, or ca-gvt)");
 }
 
 inline MpiPlacement mpi_placement_from(std::string_view name) {
   if (name == "dedicated") return MpiPlacement::kDedicated;
   if (name == "combined") return MpiPlacement::kCombined;
   if (name == "everywhere") return MpiPlacement::kEverywhere;
-  throw std::invalid_argument("unknown MPI placement: " + std::string(name));
+  throw std::invalid_argument("unknown MPI placement: '" + std::string(name) +
+                              "' (expected dedicated, combined, or everywhere)");
 }
 
 }  // namespace cagvt::core

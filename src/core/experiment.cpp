@@ -1,7 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "fault/fault_parse.hpp"
 #include "util/config.hpp"
@@ -35,6 +40,54 @@ void apply_fault_options(SimulationConfig& cfg, const Options& options) {
 void apply_lb_options(SimulationConfig& cfg, const Options& options) {
   const std::string spec = options.get_string("lb", "");
   if (!spec.empty()) cfg.lb = lb::parse_lb(spec);
+}
+
+void apply_sync_options(SimulationConfig& cfg, const Options& options) {
+  const std::string spec = options.get_string("sync", "");
+  if (!spec.empty()) cfg.sync = cons::parse_cons(spec);
+}
+
+std::vector<SimulationResult> run_parallel(
+    std::vector<std::function<SimulationResult()>> points, int max_threads) {
+  std::vector<SimulationResult> results(points.size());
+  if (points.empty()) return results;
+  if (max_threads <= 0) {
+    max_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (max_threads <= 0) max_threads = 1;
+  }
+  const int workers = std::min<int>(max_threads, static_cast<int>(points.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) results[i] = points[i]();
+    return results;
+  }
+  // Work-stealing by atomic index: each claimed point runs start to finish
+  // on one OS thread (the metasim engine is single-owner), and the result
+  // lands in the point's own slot — output order never depends on timing.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= points.size() || failed.load()) return;
+        try {
+          results[i] = points[i]();
+        } catch (...) {
+          const std::lock_guard<std::mutex> hold(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
 }
 
 double bench_scale_from_env() {

@@ -11,7 +11,9 @@
 //   CAGVT_BENCH_SCALE=10  paper scale (59+1 threads, 128 LPs)
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/simulation.hpp"
 #include "models/mixed_phold.hpp"
@@ -73,5 +75,20 @@ void apply_fault_options(SimulationConfig& cfg, const Options& options);
 /// (see lb/lb_config.hpp for the parameter DSL). Parse errors propagate
 /// as std::invalid_argument naming the offending key.
 void apply_lb_options(SimulationConfig& cfg, const Options& options);
+
+/// Apply the conservative-synchronization flag: --sync
+/// 'optimistic|cmb|window[,window=W]' (see cons/cons_config.hpp). Parse
+/// errors propagate as std::invalid_argument listing the valid modes.
+void apply_sync_options(SimulationConfig& cfg, const Options& options);
+
+/// Run independent sweep points concurrently on OS threads, one full
+/// Simulation (engine + cluster) per point. Each point's closure runs on
+/// exactly one thread — the metasim engine's single-owner contract — and
+/// results come back in input order regardless of completion order, so a
+/// parallel sweep reports identically to a serial one. `max_threads` 0
+/// means hardware_concurrency(); 1 degenerates to a serial loop. The first
+/// exception a point throws is rethrown after all threads join.
+std::vector<SimulationResult> run_parallel(
+    std::vector<std::function<SimulationResult()>> points, int max_threads = 0);
 
 }  // namespace cagvt::core

@@ -55,6 +55,14 @@ class GvtAlgorithm {
   /// leaving a round's cross-node protocol half-finished.
   virtual bool agent_done() const { return true; }
 
+  /// Force every round to run in its fully synchronous form (all in-flight
+  /// messages drained before the reduction). The bounded-window
+  /// conservative executor requires this: its window advance is only safe
+  /// against a GVT with nothing in transit. Barrier GVT is already fully
+  /// synchronous, so the default is a no-op; Mattern-family algorithms
+  /// override it.
+  virtual void set_always_sync() {}
+
   /// Should this worker pause event processing right now? CA-GVT's
   /// synchronous rounds quiesce processing (like Barrier GVT) so the
   /// round's message flush actually converges and thread progress aligns.

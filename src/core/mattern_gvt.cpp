@@ -39,7 +39,7 @@ void MatternGvt::begin_round() {
   // Checkpoint/restore/migration rounds piggyback on the synchronous
   // machinery: the barriers quiesce processing, and the post-fossil barrier
   // fences the snapshot/rewind/moves from the round's message flush.
-  sync_round_active_ = sync_flag_ || plan_ != RoundPlan::kNormal || lb_moves_;
+  sync_round_active_ = sync_flag_ || always_sync_ || plan_ != RoundPlan::kNormal || lb_moves_;
   node_.trace().round_begin(node_.rank(), round_, sync_round_active_);
 }
 

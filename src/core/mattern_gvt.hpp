@@ -50,7 +50,13 @@ class MatternGvt : public GvtAlgorithm {
     ++counter_[idx(event.color)];
     // Current-colour sends feed min_red; old-colour sends (a thread that
     // has not joined the round yet) are covered by the counting drain.
-    if (event.color == cur_color_ && event.recv_ts < worker.gvt.min_red)
+    // Conservative control messages (kNull/kNullRequest) are counted for
+    // the drain but excluded from the minimum: they never touch LP state —
+    // a null merely unlocks pending events, which min_lvt already accounts
+    // for — and a demand request propagated upstream carries X - k*la,
+    // which may legitimately sit below the adopted GVT.
+    if (event.kind == pdes::MsgKind::kEvent && event.color == cur_color_ &&
+        event.recv_ts < worker.gvt.min_red)
       worker.gvt.min_red = event.recv_ts;
   }
 
@@ -81,6 +87,11 @@ class MatternGvt : public GvtAlgorithm {
     return sync_round_active_ && !worker.gvt.adopted && worker.gvt.color == cur_color_;
   }
   bool agent_done() const override { return phase_ == Phase::kIdle; }
+
+  /// Window-mode conservative execution: every round runs with the full
+  /// synchronous barrier set, draining all in-flight messages, so the
+  /// reduced GVT is safe to advance the window against.
+  void set_always_sync() override { always_sync_ = true; }
 
   // Introspection (tests, experiment reports).
   double last_gvt() const { return gvt_value_; }
@@ -153,6 +164,7 @@ class MatternGvt : public GvtAlgorithm {
   double gvt_value_ = 0;
   bool pending_sync_ = false;
   bool sync_flag_ = false;          // SyncFlag in effect for the next round
+  bool always_sync_ = false;        // window-mode: every round synchronous
   bool sync_round_active_ = false;  // SyncFlag snapshot for the current one
   EfficiencyEstimator efficiency_;  // EWMA of per-round decided efficiency
 

@@ -53,7 +53,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
                          const pdes::Model& model, int node_id, ClusterProfiler& profiler,
                          obs::TraceRecorder& trace, obs::MetricsRegistry& metrics,
                          const fault::FaultEngine* faults, RecoveryManager* recovery,
-                         lb::Controller* lb)
+                         lb::Controller* lb, cons::Controller* cons)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
@@ -67,6 +67,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       faults_(faults),
       recovery_(recovery),
       lb_(lb),
+      cons_(cons),
       regional_msgs_metric_(metrics.counter("net.regional_msgs")),
       remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
@@ -89,6 +90,10 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
 
 void NodeRuntime::start() {
   gvt_ = make_gvt(cfg_.gvt, *this);
+  // The window executor's advance is only safe against a fully drained
+  // reduction — force every round synchronous regardless of --gvt kind.
+  if (cons_ != nullptr && cons_->config().kind == cons::SyncKind::kWindow)
+    gvt_->set_always_sync();
   for (auto& worker : workers_) {
     worker->kernel.init();
     spawn(engine_, worker_main(*worker));
@@ -98,6 +103,9 @@ void NodeRuntime::start() {
 
 std::uint64_t NodeRuntime::adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_t round) {
   profiler_.record_lvt(round, worker.kernel.local_min_ts());
+  if (cons_ != nullptr)
+    cons_->on_gvt(static_cast<std::int64_t>(round), worker.global_worker,
+                  worker.kernel.local_min_ts(), gvt);
   if (lb_ != nullptr)
     lb_->observe(round, worker.global_worker, worker.kernel.local_min_ts(), gvt,
                  worker.kernel.drain_lp_work());
@@ -124,12 +132,18 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
 
     if (!gvt_->worker_held(worker)) {
       co_await drain_inboxes(worker, &did_work);
+      int processed = 0;
       for (int b = 0; b < cfg_.batch; ++b) {
-        pdes::Outcome out = worker.kernel.process_next();
+        pdes::Outcome out =
+            cons_ == nullptr
+                ? worker.kernel.process_next()
+                : worker.kernel.process_next_bounded(cons_->bound(worker.global_worker));
         if (!out.processed) break;
+        ++processed;
         did_work = true;
         co_await handle_outcome(worker, std::move(out));
       }
+      if (cons_ != nullptr) co_await cons_tick(worker, processed, &did_work);
     }
 
     ++worker.iterations;
@@ -137,6 +151,15 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
     if (worker.mpi_duty) co_await gvt_->agent_tick(&worker);
     co_await gvt_->worker_tick(worker);
     if (!did_work) co_await delay(cpu(cfg_.cluster.idle_poll));
+  }
+}
+
+Process NodeRuntime::cons_tick(WorkerCtx& worker, int processed, bool* did_work) {
+  std::vector<pdes::Event> control;
+  cons_->tick(worker.global_worker, worker.kernel.local_min_ts(), processed, control);
+  for (pdes::Event& event : control) {
+    co_await send_event(worker, event);
+    *did_work = true;
   }
 }
 
@@ -307,6 +330,14 @@ Process NodeRuntime::drain_inboxes(WorkerCtx& worker, bool* did_work) {
     for (const pdes::Event& event : batch) {
       ++worker.gvt.msgs_recv;
       gvt_->on_recv(worker, event);
+      if (event.kind != pdes::MsgKind::kEvent) {
+        // Conservative control message: consumed by the controller, never
+        // deposited into a kernel. Intercepted after on_recv so transit
+        // counting stays balanced.
+        cons_->on_control(worker.global_worker, event);
+        *did_work = true;
+        continue;
+      }
       if (owners_.worker_of(event.dst_lp) != worker.global_worker) {
         // Delivered before a migration fence, drained after it: the
         // destination LP now lives elsewhere. Re-send: the forward is a
@@ -348,6 +379,10 @@ Process NodeRuntime::flush_round_buffer(WorkerCtx& worker) {
   std::vector<pdes::Event> batch;
   batch.swap(worker.round_buffer);
   for (const pdes::Event& event : batch) {
+    if (event.kind != pdes::MsgKind::kEvent) {
+      cons_->on_control(worker.global_worker, event);
+      continue;
+    }
     if (owners_.worker_of(event.dst_lp) != worker.global_worker) {
       // Read (and counted as received) before this round's migration
       // fence moved the destination LP away. Forward it to the new owner:
@@ -366,8 +401,13 @@ Process NodeRuntime::flush_round_buffer(WorkerCtx& worker) {
 
 double NodeRuntime::worker_min_ts(WorkerCtx& worker) {
   double lowest = worker.kernel.local_min_ts();
+  // Buffered conservative control messages are excluded: they never touch
+  // LP state (a null only unlocks pending events, which the kernels' own
+  // minima already bound), and a demand request propagated upstream
+  // carries X - k*lookahead, which may sit below the adopted GVT.
   for (const pdes::Event& event : worker.round_buffer)
-    if (event.recv_ts < lowest) lowest = event.recv_ts;
+    if (event.kind == pdes::MsgKind::kEvent && event.recv_ts < lowest)
+      lowest = event.recv_ts;
   return lowest;
 }
 

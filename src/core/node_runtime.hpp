@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "cons/controller.hpp"
 #include "core/config.hpp"
 #include "core/gvt.hpp"
 #include "core/messages.hpp"
@@ -181,7 +182,8 @@ class NodeRuntime {
               const pdes::LpMap& map, pdes::OwnerTable& owners, const pdes::Model& model,
               int node_id, ClusterProfiler& profiler, obs::TraceRecorder& trace,
               obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr,
-              RecoveryManager* recovery = nullptr, lb::Controller* lb = nullptr);
+              RecoveryManager* recovery = nullptr, lb::Controller* lb = nullptr,
+              cons::Controller* cons = nullptr);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -204,6 +206,8 @@ class NodeRuntime {
   RecoveryManager* recovery() { return recovery_; }
   /// Null when --lb=off.
   lb::Controller* lb() { return lb_; }
+  /// Null when --sync=optimistic.
+  cons::Controller* cons() { return cons_; }
   const pdes::OwnerTable& owners() const { return owners_; }
 
   /// A worker adopts a freshly computed GVT: fossil-collect, record the
@@ -296,6 +300,9 @@ class NodeRuntime {
 
   metasim::Process worker_main(WorkerCtx& worker);
   metasim::Process mpi_main();
+  /// Conservative modes: run the controller's per-batch step and route the
+  /// control messages (nulls, null requests) it wants sent.
+  metasim::Process cons_tick(WorkerCtx& worker, int processed, bool* did_work);
   metasim::Process send_event(WorkerCtx& worker, pdes::Event event);
   /// kEverywhere placement: this worker performs its own MPI calls under
   /// the node-wide MPI lock (threaded-MPI contention model).
@@ -315,6 +322,7 @@ class NodeRuntime {
   const fault::FaultEngine* faults_;
   RecoveryManager* recovery_;
   lb::Controller* lb_;
+  cons::Controller* cons_;
   obs::CounterHandle regional_msgs_metric_;
   obs::CounterHandle remote_msgs_metric_;
 

@@ -1,5 +1,6 @@
 #include "core/simulation.hpp"
 
+#include "cons/controller.hpp"
 #include "core/mattern_gvt.hpp"
 #include "core/node_runtime.hpp"
 #include "fault/fault_engine.hpp"
@@ -68,12 +69,20 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   if (cfg_.lb.enabled())
     balancer = std::make_unique<lb::Controller>(cfg_.lb, owners, *metrics, trace.get());
 
+  // Conservative synchronization (src/cons): only instantiated when
+  // requested, so --sync=optimistic runs never touch the subsystem and
+  // stay bit-identical to earlier builds. The controller rejects models
+  // without a positive lookahead here, before any coroutine starts.
+  std::unique_ptr<cons::Controller> cons;
+  if (cfg_.sync.enabled())
+    cons = std::make_unique<cons::Controller>(cfg_.sync, map, model_.lookahead(), cfg_.end_vt);
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, owners, model_,
                                                   n, profiler, *trace, *metrics, faults.get(),
-                                                  recovery.get(), balancer.get()));
+                                                  recovery.get(), balancer.get(), cons.get()));
   }
   for (auto& node : nodes) node->start();
 
@@ -145,6 +154,13 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.recovery_seconds = metasim::to_seconds(recovery->recovery_time_total());
   }
   result.owner_table_version = owners.version();
+  if (cons != nullptr) {
+    result.cons_null_msgs = cons->null_msgs();
+    result.cons_req_msgs = cons->req_msgs();
+    result.cons_utilization = cons->utilization();
+    result.cons_null_ratio = cons->null_ratio();
+    result.cons_horizon_width = cons->avg_horizon_width();
+  }
   if (balancer != nullptr) {
     result.lb_migrations = balancer->migrations();
     result.lb_migration_rounds = balancer->migration_rounds();
@@ -180,6 +196,13 @@ SimulationResult Simulation::run(double max_wall_seconds) {
       metrics->gauge("run.checkpoints").set(static_cast<double>(result.checkpoints));
       metrics->gauge("run.restores").set(static_cast<double>(result.restores));
       metrics->gauge("run.recovery_seconds").set(result.recovery_seconds);
+    }
+    if (cons != nullptr) {
+      metrics->gauge("cons.null_msgs").set(static_cast<double>(result.cons_null_msgs));
+      metrics->gauge("cons.req_msgs").set(static_cast<double>(result.cons_req_msgs));
+      metrics->gauge("cons.utilization").set(result.cons_utilization);
+      metrics->gauge("cons.null_ratio").set(result.cons_null_ratio);
+      metrics->gauge("cons.horizon_width").set(result.cons_horizon_width);
     }
     if (balancer != nullptr) {
       metrics->gauge("run.lb_migrations").set(static_cast<double>(result.lb_migrations));

@@ -74,6 +74,17 @@ struct SimulationResult {
   /// any rewinds from restores).
   std::uint32_t owner_table_version = 0;
 
+  // --- conservative synchronization (all 0 when --sync=optimistic) --------
+  std::uint64_t cons_null_msgs = 0;  // CMB null messages sent
+  std::uint64_t cons_req_msgs = 0;   // demand-driven null requests sent
+  /// Fraction of worker batch steps that executed at least one event
+  /// (Kolakowska/Novotny per-step utilization).
+  double cons_utilization = 0;
+  /// Control messages sent per simulation event executed.
+  double cons_null_ratio = 0;
+  /// Mean per-GVT-round max-min spread of worker LVTs (time-horizon width).
+  double cons_horizon_width = 0;
+
   /// Fault-window activations announced during the run (0 when no --fault
   /// schedule was configured; square waves / stall pulses count per cycle).
   std::uint64_t fault_activations = 0;

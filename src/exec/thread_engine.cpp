@@ -28,6 +28,11 @@ ThreadEngine::ThreadEngine(const core::SimulationConfig& cfg, const pdes::Model&
     throw std::invalid_argument(
         "dynamic LP migration (--lb) runs at simulated-clock GVT fences and "
         "is not supported with --backend=threads");
+  if (cfg_.sync.enabled())
+    throw std::invalid_argument(
+        "conservative synchronization (--sync) runs on the coroutine "
+        "backend's simulated transport and is not supported with "
+        "--backend=threads");
   if (cfg_.obs.trace || cfg_.obs.metrics)
     throw std::invalid_argument(
         "structured tracing/metrics are stamped with the simulated clock and "

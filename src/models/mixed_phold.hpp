@@ -48,6 +48,12 @@ class MixedPholdModel : public PholdModel {
     return active(event.recv_ts).epg_units;
   }
 
+  /// Either phase may be active when an event is scheduled, so only the
+  /// smaller of the two minimum delays is a valid global bound.
+  pdes::VirtualTime lookahead() const override {
+    return std::min(mixed_.computation.min_delay, mixed_.communication.min_delay);
+  }
+
   const MixedPholdParams& mixed_params() const { return mixed_; }
 
  private:

@@ -17,8 +17,10 @@ void PholdModel::init_lp(LpId lp, std::span<std::byte> state, pdes::EventSink& s
 
 double PholdModel::next_delay(CounterRng& rng) const {
   // Exponential increments can round to zero; the engine requires strictly
-  // increasing timestamps, so clamp to a sub-resolution epsilon.
-  return std::max(rng.next_exponential(params_.mean_delay), 1e-12);
+  // increasing timestamps, so clamp to a sub-resolution epsilon. min_delay
+  // (the conservative lookahead) shifts the whole distribution: the draw
+  // stays strictly above it, which is what lookahead() promises.
+  return params_.min_delay + std::max(rng.next_exponential(params_.mean_delay), 1e-12);
 }
 
 LpId PholdModel::choose_destination(LpId src, double remote_pct, double regional_pct,

@@ -20,6 +20,12 @@ struct PholdParams {
   double epg_units = 10000;
   /// Mean of the exponential timestamp increment.
   double mean_delay = 1.0;
+  /// Minimum timestamp increment, added on top of the exponential draw.
+  /// This is the model's conservative lookahead: every scheduled event is
+  /// strictly more than min_delay into the future. The default 0 keeps the
+  /// classic zero-lookahead PHOLD (and every existing fingerprint)
+  /// unchanged; conservative runs (--sync=cmb/window) need it positive.
+  double min_delay = 0;
   /// Starting events per LP (paper: 1).
   int start_events_per_lp = 1;
   /// Model randomness seed (independent of the engine seed).
@@ -48,6 +54,10 @@ class PholdModel : public pdes::Model {
     (void)event;
     return params_.epg_units;
   }
+
+  /// Every delay draw is min_delay + a strictly positive exponential, so
+  /// min_delay is a strict lower bound on timestamp increments.
+  pdes::VirtualTime lookahead() const override { return params_.min_delay; }
 
   const PholdParams& params() const { return params_; }
   const pdes::LpMap& map() const { return map_; }

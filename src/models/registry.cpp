@@ -18,6 +18,7 @@ PholdParams phold_params_from(const Options& options, std::string_view prefix = 
   p.regional_pct = options.get_double(key("regional"), p.regional_pct);
   p.epg_units = options.get_double(key("epg"), p.epg_units);
   p.mean_delay = options.get_double(key("mean-delay"), p.mean_delay);
+  p.min_delay = options.get_double(key("min-delay"), p.min_delay);
   p.start_events_per_lp =
       static_cast<int>(options.get_int(key("start-events"), p.start_events_per_lp));
   p.seed = static_cast<std::uint64_t>(options.get_int(key("model-seed"),

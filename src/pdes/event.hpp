@@ -18,6 +18,17 @@ inline constexpr VirtualTime kVtInfinity = std::numeric_limits<VirtualTime>::inf
 /// Message color for Mattern-style GVT accounting.
 enum class Color : std::uint8_t { kWhite = 0, kRed = 1 };
 
+/// What a transported message means. Event messages are deposited into the
+/// destination kernel; the conservative-synchronization control messages
+/// (src/cons) ride the same send/receive path — so they pay real transport
+/// costs and stay visible to GVT transit counting — but are consumed by the
+/// cons::Controller instead of the kernel.
+enum class MsgKind : std::uint8_t {
+  kEvent = 0,        // a simulation event (positive or anti)
+  kNull = 1,         // CMB null message: recv_ts carries the guarantee
+  kNullRequest = 2,  // demand-driven null request: recv_ts carries the bound
+};
+
 /// A time-stamped event message. `uid` is replay-stable: an event's id is a
 /// deterministic hash of its creating event's id and output index, so a
 /// rolled-back-and-re-executed handler regenerates bit-identical events.
@@ -33,6 +44,7 @@ struct Event {
                               // holding a newer table forwards instead of drops
   bool anti = false;          // true: anti-message (cancels the positive twin)
   Color color = Color::kWhite;  // stamped by the GVT layer at send time
+  MsgKind kind = MsgKind::kEvent;  // control messages never reach a kernel
 
   /// The matching anti-message for this (positive) event.
   Event make_anti() const {

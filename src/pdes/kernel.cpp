@@ -56,9 +56,11 @@ Outcome ThreadKernel::deposit(const Event& event) {
   return out;
 }
 
-Outcome ThreadKernel::process_next() {
+Outcome ThreadKernel::process_next() { return process_next_bounded(kVtInfinity); }
+
+Outcome ThreadKernel::process_next_bounded(VirtualTime bound) {
   Outcome out;
-  const auto ev = pending_.pop_next(cfg_.end_vt);
+  const auto ev = pending_.pop_next(std::min(bound, cfg_.end_vt));
   if (!ev) return out;
 
   Lp& lp = lp_ref(ev->dst_lp);

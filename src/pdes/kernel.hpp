@@ -98,6 +98,11 @@ class ThreadKernel {
   /// Execute the lowest pending event with recv_ts <= end_vt, if any.
   Outcome process_next();
 
+  /// Like process_next(), but only events with recv_ts <= min(bound, end_vt)
+  /// are eligible (inclusive). The conservative executors pass their safety
+  /// bound here; everything else about the kernel is unchanged.
+  Outcome process_next_bounded(VirtualTime bound);
+
   /// True when nothing below the end-time bound is pending.
   bool idle() { return !pending_.min_key() || pending_.min_key()->ts > cfg_.end_vt; }
 

@@ -69,6 +69,14 @@ class Model {
   /// Computational cost of processing `event`, in EPG units (~1 FLOP each).
   virtual double cost_units(const Event& event) const = 0;
 
+  /// Conservative-synchronization contract (src/cons): a strict lower
+  /// bound on the timestamp increment of EVERY event this model schedules
+  /// (recv_ts - send_ts > lookahead(), for all handlers and all inputs).
+  /// The optimistic engine ignores it; the conservative executors require
+  /// it to be positive and build their safety bounds on it. The default 0
+  /// declares "no lookahead" — such models run optimistically only.
+  virtual VirtualTime lookahead() const { return 0; }
+
   /// Rollback strategy. Models whose handlers are perfectly invertible can
   /// implement reverse_event() and return true here: the engine then skips
   /// the per-event state checkpoint (ROSS's reverse computation mode,

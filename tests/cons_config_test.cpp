@@ -1,0 +1,117 @@
+// --sync parsing and configuration-surface validation: mode/parameter
+// parsing, the valid-value listings in parse errors (--sync, --gvt, --mpi),
+// and the SimulationConfig combination rules that keep conservative runs
+// away from subsystems defined against rollbacks.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "cons/cons_config.hpp"
+#include "core/config.hpp"
+#include "fault/fault_parse.hpp"
+#include "lb/lb_config.hpp"
+
+namespace cagvt::cons {
+namespace {
+
+/// Runs `fn`, expecting std::invalid_argument whose message contains every
+/// string in `needles`.
+template <typename Fn>
+void expect_error_mentions(Fn&& fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* needle : needles)
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message '" << msg << "' should mention '" << needle << "'";
+  }
+}
+
+TEST(ConsParseTest, ParsesModes) {
+  EXPECT_EQ(parse_cons("optimistic").kind, SyncKind::kOptimistic);
+  EXPECT_EQ(parse_cons("").kind, SyncKind::kOptimistic);
+  EXPECT_EQ(parse_cons("cmb").kind, SyncKind::kCmb);
+
+  const ConsConfig w = parse_cons("window");
+  EXPECT_EQ(w.kind, SyncKind::kWindow);
+  EXPECT_EQ(w.window, std::numeric_limits<double>::infinity());
+
+  const ConsConfig wb = parse_cons("window,window=0.25");
+  EXPECT_EQ(wb.kind, SyncKind::kWindow);
+  EXPECT_DOUBLE_EQ(wb.window, 0.25);
+}
+
+TEST(ConsParseTest, EnabledOnlyForConservativeModes) {
+  EXPECT_FALSE(parse_cons("optimistic").enabled());
+  EXPECT_TRUE(parse_cons("cmb").enabled());
+  EXPECT_TRUE(parse_cons("window").enabled());
+}
+
+TEST(ConsParseTest, UnknownModeListsValidModes) {
+  expect_error_mentions([] { parse_cons("bogus"); },
+                        {"bogus", "optimistic", "cmb", "window"});
+}
+
+TEST(ConsParseTest, RejectsBadParameters) {
+  EXPECT_THROW(parse_cons("optimistic,window=1"), std::invalid_argument);
+  EXPECT_THROW(parse_cons("cmb,window=1"), std::invalid_argument);
+  EXPECT_THROW(parse_cons("window,window=0"), std::invalid_argument);
+  EXPECT_THROW(parse_cons("window,window=-2"), std::invalid_argument);
+  expect_error_mentions([] { parse_cons("window,widnow=1"); }, {"widnow"});
+}
+
+TEST(ConsParseTest, ToStringRoundTrips) {
+  for (const char* text : {"optimistic", "cmb", "window", "window,window=0.500000"}) {
+    EXPECT_EQ(to_string(parse_cons(text)), text);
+  }
+  EXPECT_STREQ(to_string(SyncKind::kCmb), "cmb");
+}
+
+TEST(ConfigErrorTest, GvtKindErrorListsValidValues) {
+  expect_error_mentions([] { (void)core::gvt_kind_from("matern"); },
+                        {"matern", "barrier", "mattern", "ca-gvt"});
+}
+
+TEST(ConfigErrorTest, MpiPlacementErrorListsValidValues) {
+  expect_error_mentions([] { (void)core::mpi_placement_from("shared"); },
+                        {"shared", "dedicated", "combined", "everywhere"});
+}
+
+core::SimulationConfig conservative_config() {
+  core::SimulationConfig cfg;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 2;
+  cfg.lps_per_worker = 2;
+  cfg.sync = parse_cons("cmb");
+  return cfg;
+}
+
+TEST(ConsValidateTest, ConservativeConfigAloneIsValid) {
+  EXPECT_NO_THROW(conservative_config().validate());
+}
+
+TEST(ConsValidateTest, RejectsLoadBalancer) {
+  core::SimulationConfig cfg = conservative_config();
+  cfg.lb = lb::parse_lb("roughness");
+  expect_error_mentions([&] { cfg.validate(); }, {"--sync=cmb", "--lb"});
+}
+
+TEST(ConsValidateTest, RejectsFaultInjection) {
+  core::SimulationConfig cfg = conservative_config();
+  cfg.sync = parse_cons("window");
+  cfg.faults = fault::parse_fault_schedule("straggler:node=0,t=0..,slow=2x");
+  expect_error_mentions([&] { cfg.validate(); }, {"--sync=window", "--fault"});
+}
+
+TEST(ConsValidateTest, RejectsCheckpoints) {
+  core::SimulationConfig cfg = conservative_config();
+  cfg.ckpt_every = 3;
+  expect_error_mentions([&] { cfg.validate(); }, {"--sync=cmb", "--ckpt-every"});
+}
+
+}  // namespace
+}  // namespace cagvt::cons

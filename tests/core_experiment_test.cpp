@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace cagvt::core {
 namespace {
@@ -95,6 +96,73 @@ TEST(DescribeTest, FlagsIncompleteRuns) {
   SimulationResult r;
   r.completed = false;
   EXPECT_NE(describe(r).find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(SyncOptionsTest, AppliesAndValidates) {
+  SimulationConfig cfg;
+  const char* argv[] = {"t", "--sync", "window,window=0.5"};
+  apply_sync_options(cfg, Options::parse(3, argv));
+  EXPECT_EQ(cfg.sync.kind, cons::SyncKind::kWindow);
+  EXPECT_DOUBLE_EQ(cfg.sync.window, 0.5);
+
+  SimulationConfig untouched;
+  apply_sync_options(untouched, Options::parse_kv(""));
+  EXPECT_EQ(untouched.sync.kind, cons::SyncKind::kOptimistic);
+
+  SimulationConfig bad;
+  const char* bad_argv[] = {"t", "--sync", "lockstep"};
+  EXPECT_THROW(apply_sync_options(bad, Options::parse(3, bad_argv)),
+               std::invalid_argument);
+}
+
+std::vector<std::function<SimulationResult()>> sweep_points(int n) {
+  std::vector<std::function<SimulationResult()>> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back([i] {
+      SimulationConfig cfg;
+      cfg.nodes = 1;
+      cfg.threads_per_node = 3;
+      cfg.lps_per_worker = 2;
+      cfg.end_vt = 5.0;
+      cfg.seed = static_cast<std::uint64_t>(17 + i);
+      return run_phold(cfg, Workload::communication());
+    });
+  }
+  return points;
+}
+
+TEST(RunParallelTest, MatchesSerialOrderAndResults) {
+  // A parallel sweep must be indistinguishable from the serial loop it
+  // replaces: same results, same (input) order, whatever the thread count.
+  const std::vector<SimulationResult> serial = run_parallel(sweep_points(6), 1);
+  const std::vector<SimulationResult> threaded = run_parallel(sweep_points(6), 4);
+  const std::vector<SimulationResult> defaulted = run_parallel(sweep_points(6), 0);
+  ASSERT_EQ(serial.size(), 6u);
+  ASSERT_EQ(threaded.size(), 6u);
+  ASSERT_EQ(defaulted.size(), 6u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].completed);
+    EXPECT_EQ(serial[i].committed_fingerprint, threaded[i].committed_fingerprint) << i;
+    EXPECT_EQ(serial[i].committed_fingerprint, defaulted[i].committed_fingerprint) << i;
+    EXPECT_EQ(serial[i].events.processed, threaded[i].events.processed) << i;
+  }
+  // Distinct seeds produce distinct workloads, so order mix-ups can't hide.
+  EXPECT_NE(serial[0].committed_fingerprint, serial[1].committed_fingerprint);
+}
+
+TEST(RunParallelTest, EmptyAndSinglePointSweeps) {
+  EXPECT_TRUE(run_parallel({}).empty());
+  const auto one = run_parallel(sweep_points(1), 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0].completed);
+}
+
+TEST(RunParallelTest, RethrowsFirstPointFailure) {
+  auto points = sweep_points(3);
+  points.insert(points.begin() + 1, []() -> SimulationResult {
+    throw std::runtime_error("sweep point exploded");
+  });
+  EXPECT_THROW(run_parallel(std::move(points), 4), std::runtime_error);
 }
 
 TEST(OverridesTest, ClusterOverridesApply) {

@@ -167,6 +167,13 @@ TEST(DifferentialTest, ThreadBackendRejectsSimulatedTimeOnlyFeatures) {
   traced.obs.trace = true;
   EXPECT_THROW(run_simulation(traced, *model, BackendKind::kThreads, 120.0),
                std::invalid_argument);
+
+  // Conservative synchronization lives on the coroutine backend's simulated
+  // transport (single cluster-wide controller, no locks).
+  SimulationConfig conservative = base;
+  conservative.sync.kind = cons::SyncKind::kCmb;
+  EXPECT_THROW(run_simulation(conservative, *model, BackendKind::kThreads, 120.0),
+               std::invalid_argument);
 }
 
 TEST(DifferentialTest, BackendNamesParse) {
