@@ -24,6 +24,8 @@
 // invocations produce byte-identical results.
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 #include "fault/fault_parse.hpp"
 
 namespace cagvt::bench {
@@ -98,4 +100,4 @@ BENCHMARK(BM_CkptPeriod)->ArgName("ckpt_every")->Arg(0)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl07")

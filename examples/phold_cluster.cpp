@@ -29,6 +29,13 @@
 //                      conservative execution; cmb/window need a model with
 //                      positive lookahead (e.g. --min-delay=0.5) and reject
 //                      --lb / --fault / --ckpt-every / --backend=threads
+//   --flow MODE        off (default) | bounded[,mem=M,storm=S,clamp=C]
+//                      overload protection: per-worker event-pool budget M
+//                      (cancelback relief + forced fossil rounds past it),
+//                      rollback-storm detection at secondary fraction S,
+//                      adaptive GVT+C execution clamp; rejects --sync.
+//                      Squeeze budgets mid-run with
+//                        --fault 'mem:worker=0,budget=256,t=1ms..3ms'
 //   --fault SCHED      fault-injection schedule (';'-separated specs), e.g.
 //                        --fault 'straggler:node=3,t=2ms..6ms,slow=4x'
 //                        --fault 'link:src=0,dst=1,latency=4x,jitter=2us'
@@ -75,6 +82,7 @@ int main(int argc, char** argv) try {
                 "                   ewma=X,min-lps=N]\n"
                 "Conservative  : --sync optimistic|cmb|window[,window=W]\n"
                 "                   (cmb/window need positive lookahead, e.g. --min-delay=0.5)\n"
+                "Overload      : --flow off|bounded[,mem=M,storm=S,clamp=C]\n"
                 "Observability : --trace --trace-out --trace-csv --metrics-out --verbose\n"
                 "\nRegistered models (--model NAME):\n");
     for (const std::string& name : models::model_names())
@@ -103,6 +111,7 @@ int main(int argc, char** argv) try {
   core::apply_fault_options(cfg, opts);
   core::apply_lb_options(cfg, opts);
   core::apply_sync_options(cfg, opts);
+  core::apply_flow_options(cfg, opts);
 
   const std::string trace_out = opts.get_string("trace-out", "");
   const std::string trace_csv = opts.get_string("trace-csv", "");
@@ -132,6 +141,8 @@ int main(int argc, char** argv) try {
     std::printf("lb      : %s\n", lb::to_string(cfg.lb).c_str());
   if (cfg.sync.enabled())
     std::printf("sync    : %s\n", cons::to_string(cfg.sync).c_str());
+  if (cfg.flow.enabled())
+    std::printf("flow    : %s\n", flow::to_string(cfg.flow).c_str());
 
   const core::SimulationResult r = exec::run_simulation(cfg, *model, backend);
 
@@ -191,6 +202,17 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(r.cons_null_msgs),
                 static_cast<unsigned long long>(r.cons_req_msgs), r.cons_utilization,
                 r.cons_null_ratio, r.cons_horizon_width);
+  std::printf("peak event pool     : %llu events/worker\n",
+              static_cast<unsigned long long>(r.peak_event_pool));
+  if (cfg.flow.enabled())
+    std::printf("overload protection : %llu cancelbacks (%llu released, %llu antis absorbed), "
+                "%llu storms, %llu throttle engagements, %llu forced rounds\n",
+                static_cast<unsigned long long>(r.flow_cancelbacks),
+                static_cast<unsigned long long>(r.flow_releases),
+                static_cast<unsigned long long>(r.flow_absorbed_antis),
+                static_cast<unsigned long long>(r.flow_storms),
+                static_cast<unsigned long long>(r.flow_throttle_engagements),
+                static_cast<unsigned long long>(r.flow_forced_rounds));
   std::printf("final GVT           : %.3f%s\n", r.final_gvt, r.completed ? "" : "  [INCOMPLETE]");
 
   if (trace) {

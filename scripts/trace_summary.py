@@ -7,8 +7,11 @@ the time-horizon-roughness literature analyzes.
 A metrics snapshot CSV (from --metrics-out / obs::write_metrics_csv) may be
 passed alongside the trace; its conservative update statistics (the
 Kolakowska/Novotny measurements: cons.utilization, cons.null_ratio,
-cons.horizon_width, plus the null/request message counts) are reported in
-the footer.
+cons.horizon_width, plus the null/request message counts) and overload-
+protection gauges (flow.* — pool peak, cancelbacks, storms, throttle
+engagements) are reported in the footer. Trace rows add a per-round
+`pressure` column (worst flow tier any worker reported) and a footer line
+listing rollback-storm episodes by worker and round span.
 
 Usage:
     build/examples/phold_cluster --gvt=ca-gvt --sync=cmb --min-delay=0.5 \\
@@ -30,21 +33,35 @@ CONS_METRICS = [
     "cons.req_msgs",
 ]
 
+# Overload-protection gauges (--flow=bounded; flow.peak_event_pool is
+# measured even with flow off — it is the unbounded-growth evidence).
+FLOW_METRICS = [
+    "flow.peak_event_pool",
+    "flow.cancelbacks",
+    "flow.releases",
+    "flow.absorbed_antis",
+    "flow.storms",
+    "flow.throttle_engagements",
+    "flow.forced_rounds",
+    "flow.red_ticks",
+]
+
 
 def is_metrics_csv(path: str) -> bool:
     with open(path, newline="", encoding="utf-8") as handle:
         return handle.readline().strip() == "name,value"
 
 
-def report_cons_metrics(path: str) -> None:
+def report_metrics(path: str) -> None:
     with open(path, newline="", encoding="utf-8") as handle:
         values = {rec["name"]: float(rec["value"]) for rec in csv.DictReader(handle)}
-    present = [name for name in CONS_METRICS if name in values]
-    if not present:
-        print(f"# {path}: no conservative-sync metrics (optimistic run?)", file=sys.stderr)
-        return
-    summary = ", ".join(f"{name}={values[name]:.6g}" for name in present)
-    print(f"# conservative sync: {summary}", file=sys.stderr)
+    for title, names in (("conservative sync", CONS_METRICS), ("overload", FLOW_METRICS)):
+        present = [name for name in names if name in values]
+        if present:
+            summary = ", ".join(f"{name}={values[name]:.6g}" for name in present)
+            print(f"# {title}: {summary}", file=sys.stderr)
+    if not any(name in values for name in CONS_METRICS + FLOW_METRICS):
+        print(f"# {path}: no cons.*/flow.* metrics in snapshot", file=sys.stderr)
 
 
 def main(path: str) -> None:
@@ -58,12 +75,17 @@ def main(path: str) -> None:
             "queue_peak": "",
             "mode_switch": "",
             "barrier_wait_ns": 0,
+            "pressure": "",
         }
     )
     barrier_enter = {}  # (node, worker, round, label) -> t_ns
     rollbacks = 0
     rolled_events = 0
     sends = 0
+    cancelbacks = 0
+    storm_open = {}  # worker -> start round of the in-progress storm
+    storm_episodes = []  # (worker, start_round, end_round or None)
+    TIER_RANK = {"": 0, "green": 0, "yellow": 1, "red": 2}
 
     with open(path, newline="", encoding="utf-8") as handle:
         for rec in csv.DictReader(handle):
@@ -94,6 +116,19 @@ def main(path: str) -> None:
                 rolled_events += int(rec["value"])
             elif kind == "mpi_send":
                 sends += 1
+            elif kind == "flow_pressure":
+                # Keep the worst tier any worker reported for the round.
+                if TIER_RANK.get(rec["label"], 0) >= TIER_RANK[rounds[rnd]["pressure"]]:
+                    rounds[rnd]["pressure"] = rec["label"]
+            elif kind == "flow_cancelback":
+                cancelbacks += int(rec["value"])
+            elif kind == "flow_storm":
+                worker = rec["worker"]
+                if int(rec["value"]):  # start
+                    storm_open[worker] = rnd
+                else:  # end: close the episode opened by this worker
+                    start = storm_open.pop(worker, rnd)
+                    storm_episodes.append((worker, start, rnd))
 
     writer = csv.writer(sys.stdout)
     writer.writerow(
@@ -106,6 +141,7 @@ def main(path: str) -> None:
             "efficiency",
             "queue_peak",
             "mode_switch",
+            "pressure",
         ]
     )
     for rnd in sorted(rounds):
@@ -125,6 +161,7 @@ def main(path: str) -> None:
                 row["efficiency"],
                 row["queue_peak"],
                 row["mode_switch"],
+                row["pressure"],
             ]
         )
     print(
@@ -132,12 +169,27 @@ def main(path: str) -> None:
         f"mpi sends: {sends}",
         file=sys.stderr,
     )
+    # Storms still open at end-of-trace are real episodes (the run ended
+    # under pressure); report them with an open right edge.
+    for worker, start in storm_open.items():
+        storm_episodes.append((worker, start, None))
+    if cancelbacks or storm_episodes:
+        spans = ", ".join(
+            f"worker {worker} rounds {start}..{'end' if end is None else end}"
+            for worker, start, end in sorted(storm_episodes, key=lambda e: e[1])
+        )
+        print(
+            f"# overload: {cancelbacks} events cancelled back, "
+            f"{len(storm_episodes)} storm episode(s)"
+            + (f" [{spans}]" if spans else ""),
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":
     paths = sys.argv[1:] if len(sys.argv) > 1 else ["trace.csv"]
     for p in paths:
         if is_metrics_csv(p):
-            report_cons_metrics(p)
+            report_metrics(p)
         else:
             main(p)

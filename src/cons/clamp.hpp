@@ -1,0 +1,26 @@
+// Shared horizon-clamp arithmetic.
+//
+// Two subsystems clamp a worker's execution horizon to "last GVT plus a
+// window": the conservative bounded-window executor (`--sync=window`,
+// cons::Controller) and the overload throttle (`--flow=bounded`,
+// flow::Controller). Both must advance the bound *monotonically* — a GVT
+// round may momentarily report a value below the previously granted
+// horizon (e.g. after a restore), and retracting an already-granted bound
+// would re-introduce the causality window the clamp exists to close. This
+// header is that single shared rule, so the two clamps cannot drift apart.
+#pragma once
+
+#include <algorithm>
+
+#include "pdes/event.hpp"
+
+namespace cagvt::cons {
+
+/// Advance a monotone execution bound to at least `gvt + width`.
+/// Never moves the bound backwards.
+inline pdes::VirtualTime advance_clamp(pdes::VirtualTime current, pdes::VirtualTime gvt,
+                                       pdes::VirtualTime width) {
+  return std::max(current, gvt + width);
+}
+
+}  // namespace cagvt::cons

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cons/clamp.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -168,7 +169,7 @@ void Controller::on_gvt(std::int64_t round, int worker, VirtualTime lvt, Virtual
     // Safe because window rounds are fully synchronous: gvt is the true
     // global minimum with nothing in transit, and events generated inside
     // [gvt, gvt + lookahead] land strictly above the new bound.
-    window_bound_ = std::max(window_bound_, gvt + std::min(cfg_.window, la_));
+    window_bound_ = advance_clamp(window_bound_, gvt, std::min(cfg_.window, la_));
   }
   if (lvt == kVtInfinity) return;  // drained worker: no horizon sample
   if (round != horizon_round_) {

@@ -6,7 +6,9 @@ using metasim::delay;
 using metasim::Process;
 
 Process BarrierGvt::worker_tick(WorkerCtx& worker) {
-  if (worker.gvt.iters_since_round < node_.cfg().gvt_interval) co_return;
+  // Red memory pressure forces an early round (see MatternGvt::worker_tick).
+  const bool flow_forced = node_.flow() != nullptr && node_.flow()->round_requested();
+  if (worker.gvt.iters_since_round < node_.cfg().gvt_interval && !flow_forced) co_return;
   worker.gvt.iters_since_round = 0;
 
   // In combined/everywhere placements worker 0 doubles as the MPI agent
@@ -14,6 +16,7 @@ Process BarrierGvt::worker_tick(WorkerCtx& worker) {
   const bool agent_inline = worker.mpi_duty && !node_.cfg().has_dedicated_mpi();
   if (!round_active_) {
     round_active_ = true;  // signals the dedicated MPI thread to join
+    if (node_.flow() != nullptr) node_.flow()->note_round_begin();
     round_started_ = node_.engine().now();
     if (node_.recovery() != nullptr) plan_ = node_.recovery()->plan_round(round_no_ + 1);
     // First worker to open the round also fixes whether the balancer's

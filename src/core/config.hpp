@@ -12,6 +12,7 @@
 #include "cons/cons_config.hpp"
 #include "fault/fault_parse.hpp"
 #include "fault/fault_spec.hpp"
+#include "flow/flow_config.hpp"
 #include "lb/lb_config.hpp"
 #include "net/cluster_spec.hpp"
 #include "pdes/event.hpp"
@@ -102,6 +103,12 @@ struct SimulationConfig {
   /// an optimistic run is bit-identical to a build without the subsystem.
   /// Parsed from --sync on the CLIs (see cons/cons_config.hpp).
   cons::ConsConfig sync;
+  /// Overload protection (src/flow): memory-bounded optimism, rollback-storm
+  /// containment, adaptive throttling. Off by default: the flow::Controller
+  /// is only instantiated when enabled, and an off run is bit-identical to a
+  /// build without the subsystem. Parsed from --flow on the CLIs
+  /// (see flow/flow_config.hpp).
+  flow::FlowConfig flow;
 
   int workers_per_node() const {
     return mpi == MpiPlacement::kDedicated ? threads_per_node - 1 : threads_per_node;
@@ -123,6 +130,10 @@ struct SimulationConfig {
     if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
     lb.validate();
     sync.validate();
+    flow.validate();
+    if (flow.enabled() && sync.enabled())
+      throw std::invalid_argument("--flow=bounded cannot be combined with --sync (conservative "
+                                  "execution never over-commits: there is no optimism to bound)");
     if (sync.enabled()) {
       // Conservative execution never rolls back, so the Time Warp recovery
       // and migration machinery has nothing to hook into: checkpoints,
@@ -152,6 +163,14 @@ struct SimulationConfig {
         throw std::invalid_argument(where + "src=" + std::to_string(faults[i].src) + cluster);
       if (faults[i].dst >= nodes)
         throw std::invalid_argument(where + "dst=" + std::to_string(faults[i].dst) + cluster);
+      if (faults[i].kind == fault::FaultKind::kMemSqueeze) {
+        const int total_workers = nodes * workers_per_node();
+        if (faults[i].worker >= total_workers)
+          throw std::invalid_argument(where + "worker=" + std::to_string(faults[i].worker) +
+                                      " is outside the cluster (" + std::to_string(total_workers) +
+                                      " workers, ids 0.." + std::to_string(total_workers - 1) +
+                                      ")");
+      }
     }
   }
 };

@@ -47,6 +47,11 @@ void apply_sync_options(SimulationConfig& cfg, const Options& options) {
   if (!spec.empty()) cfg.sync = cons::parse_cons(spec);
 }
 
+void apply_flow_options(SimulationConfig& cfg, const Options& options) {
+  const std::string spec = options.get_string("flow", "");
+  if (!spec.empty()) cfg.flow = flow::parse_flow(spec);
+}
+
 std::vector<SimulationResult> run_parallel(
     std::vector<std::function<SimulationResult()>> points, int max_threads) {
   std::vector<SimulationResult> results(points.size());

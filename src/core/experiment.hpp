@@ -81,6 +81,11 @@ void apply_lb_options(SimulationConfig& cfg, const Options& options);
 /// errors propagate as std::invalid_argument listing the valid modes.
 void apply_sync_options(SimulationConfig& cfg, const Options& options);
 
+/// Apply the overload-protection flag: --flow
+/// 'off|bounded[,mem=M,storm=S,clamp=C]' (see flow/flow_config.hpp). Parse
+/// errors propagate as std::invalid_argument naming the offending key.
+void apply_flow_options(SimulationConfig& cfg, const Options& options);
+
 /// Run independent sweep points concurrently on OS threads, one full
 /// Simulation (engine + cluster) per point. Each point's closure runs on
 /// exactly one thread — the metasim engine's single-owner contract — and

@@ -49,4 +49,44 @@ struct CaTriggerPolicy {
   }
 };
 
+/// Memory-pressure tier of a worker's event pool (`--flow=bounded`).
+/// Ordered so tiers compare: yellow engages the optimism throttle, red
+/// additionally triggers cancelback relief and a forced fossil-collection
+/// GVT round.
+enum class PressureTier : std::uint8_t { kGreen = 0, kYellow = 1, kRed = 2 };
+
+/// Classifies event-pool occupancy (pending events + uncommitted history
+/// records) against a per-worker budget. Like CaTriggerPolicy this is pure
+/// arithmetic shared by both execution backends — the coroutine runtime
+/// (flow::Controller) and the real-thread fence signaling use the same
+/// thresholds, so pressure semantics cannot diverge between them.
+struct FlowPressurePolicy {
+  std::uint64_t budget = 0;     // 0 = unbounded (always green)
+  double yellow_frac = 0.75;    // throttle above this fraction of budget
+  double release_frac = 0.5;    // cancelback / parked release drain target
+
+  PressureTier classify(std::uint64_t pool) const {
+    if (budget == 0) return PressureTier::kGreen;
+    if (pool >= budget) return PressureTier::kRed;
+    if (static_cast<double>(pool) >= yellow_frac * static_cast<double>(budget))
+      return PressureTier::kYellow;
+    return PressureTier::kGreen;
+  }
+
+  /// Pool size cancelback relief drains toward (and below which parked
+  /// events are released back to a previously red worker).
+  std::uint64_t release_target() const {
+    return static_cast<std::uint64_t>(release_frac * static_cast<double>(budget));
+  }
+};
+
+inline const char* to_string(PressureTier tier) {
+  switch (tier) {
+    case PressureTier::kGreen: return "green";
+    case PressureTier::kYellow: return "yellow";
+    case PressureTier::kRed: return "red";
+  }
+  return "?";
+}
+
 }  // namespace cagvt::core

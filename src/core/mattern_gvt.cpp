@@ -40,6 +40,10 @@ void MatternGvt::begin_round() {
   // machinery: the barriers quiesce processing, and the post-fossil barrier
   // fences the snapshot/rewind/moves from the round's message flush.
   sync_round_active_ = sync_flag_ || always_sync_ || plan_ != RoundPlan::kNormal || lb_moves_;
+  // Overload protection: a red-pressure round request is satisfied by this
+  // round (the controller keeps it visible until adoption so every node's
+  // trigger fires promptly).
+  if (node_.flow() != nullptr) node_.flow()->note_round_begin();
   node_.trace().round_begin(node_.rank(), round_, sync_round_active_);
 }
 
@@ -124,7 +128,11 @@ Process MatternGvt::worker_tick(WorkerCtx& worker) {
   // Alg. 3 adds the first conditional barrier). Colours alternate per
   // round — begin_round flips cur_color_, so "not yet the round's colour"
   // marks a thread that has not joined. -------------------------------------
-  if (phase_ == Phase::kIdle && worker.gvt.iters_since_round >= cfg.gvt_interval)
+  // Red memory pressure forces an early round (fossil collection is the
+  // only way history drains); otherwise the interval clock decides.
+  if (phase_ == Phase::kIdle &&
+      (worker.gvt.iters_since_round >= cfg.gvt_interval ||
+       (node_.flow() != nullptr && node_.flow()->round_requested())))
     begin_round();
   if (phase_ == Phase::kRed && worker.gvt.color != cur_color_) {
     if (sync_round_active_)

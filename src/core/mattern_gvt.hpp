@@ -54,9 +54,11 @@ class MatternGvt : public GvtAlgorithm {
     // the drain but excluded from the minimum: they never touch LP state —
     // a null merely unlocks pending events, which min_lvt already accounts
     // for — and a demand request propagated upstream carries X - k*la,
-    // which may legitimately sit below the adopted GVT.
-    if (event.kind == pdes::MsgKind::kEvent && event.color == cur_color_ &&
-        event.recv_ts < worker.gvt.min_red)
+    // which may legitimately sit below the adopted GVT. Cancelbacks ARE
+    // included: they carry a live simulation event back to its sender.
+    if ((event.kind == pdes::MsgKind::kEvent ||
+         event.kind == pdes::MsgKind::kCancelback) &&
+        event.color == cur_color_ && event.recv_ts < worker.gvt.min_red)
       worker.gvt.min_red = event.recv_ts;
   }
 

@@ -53,7 +53,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
                          const pdes::Model& model, int node_id, ClusterProfiler& profiler,
                          obs::TraceRecorder& trace, obs::MetricsRegistry& metrics,
                          const fault::FaultEngine* faults, RecoveryManager* recovery,
-                         lb::Controller* lb, cons::Controller* cons)
+                         lb::Controller* lb, cons::Controller* cons, flow::Controller* flow)
     : engine_(engine),
       fabric_(fabric),
       cfg_(cfg),
@@ -68,6 +68,7 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       recovery_(recovery),
       lb_(lb),
       cons_(cons),
+      flow_(flow),
       regional_msgs_metric_(metrics.counter("net.regional_msgs")),
       remote_msgs_metric_(metrics.counter("net.remote_msgs")),
       mpi_outbox_(engine, cfg.cluster),
@@ -75,8 +76,10 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
       collectives_(engine, fabric, node_id,
                    cfg.workers_per_node() + (cfg.has_dedicated_mpi() ? 1 : 0),
                    cfg.cluster.pthread_barrier_cost(cfg.threads_per_node)) {
-  const pdes::KernelConfig kcfg{
-      .end_vt = cfg.end_vt, .seed = cfg.seed, .dynamic_placement = lb_ != nullptr};
+  const pdes::KernelConfig kcfg{.end_vt = cfg.end_vt,
+                                .seed = cfg.seed,
+                                .dynamic_placement = lb_ != nullptr,
+                                .cancelback = flow_ != nullptr};
   for (int w = 0; w < cfg.workers_per_node(); ++w) {
     const bool duty = !cfg.has_dedicated_mpi() && w == 0;
     workers_.push_back(std::make_unique<WorkerCtx>(*this, engine, cfg.cluster, model, map,
@@ -85,6 +88,13 @@ NodeRuntime::NodeRuntime(metasim::Engine& engine, Fabric& fabric, const Simulati
         &trace_, metrics_.histogram("kernel.rollback_depth", 0, 64, 16), node_id, w);
     if (lb_ != nullptr)
       lb_->register_kernel(workers_.back()->global_worker, &workers_.back()->kernel);
+    if (flow_ != nullptr) {
+      const int gw = workers_.back()->global_worker;
+      workers_.back()->kernel.set_rollback_hook(
+          [this, gw](std::uint64_t depth, bool secondary) {
+            flow_->note_rollback(gw, depth, secondary);
+          });
+    }
   }
 }
 
@@ -110,6 +120,11 @@ std::uint64_t NodeRuntime::adopt_gvt(WorkerCtx& worker, double gvt, std::uint64_
     lb_->observe(round, worker.global_worker, worker.kernel.local_min_ts(), gvt,
                  worker.kernel.drain_lp_work());
   if (node_id_ == 0 && worker.index_in_node == 0) profiler_.record_gvt(gvt);
+  // Round-sampled pool peak (cheap, always on): captured before fossil
+  // collection frees history, so the peak reflects the round's high-water.
+  worker.kernel.sample_pool_peak();
+  if (flow_ != nullptr)
+    flow_->on_gvt(static_cast<std::int64_t>(round), worker.global_worker, gvt);
   const std::uint64_t committed = worker.kernel.fossil_collect(gvt);
   if (gvt > cfg_.end_vt && !stop_) {
     stop_ = true;
@@ -134,16 +149,22 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
       co_await drain_inboxes(worker, &did_work);
       int processed = 0;
       for (int b = 0; b < cfg_.batch; ++b) {
-        pdes::Outcome out =
-            cons_ == nullptr
-                ? worker.kernel.process_next()
-                : worker.kernel.process_next_bounded(cons_->bound(worker.global_worker));
+        // Execution horizon: the tighter of the conservative window (--sync)
+        // and the flow throttle clamp (--flow); infinity = free-running.
+        double bound = pdes::kVtInfinity;
+        if (cons_ != nullptr) bound = cons_->bound(worker.global_worker);
+        if (flow_ != nullptr)
+          bound = std::min(bound, flow_->exec_bound(worker.global_worker));
+        pdes::Outcome out = bound == pdes::kVtInfinity
+                                ? worker.kernel.process_next()
+                                : worker.kernel.process_next_bounded(bound);
         if (!out.processed) break;
         ++processed;
         did_work = true;
         co_await handle_outcome(worker, std::move(out));
       }
       if (cons_ != nullptr) co_await cons_tick(worker, processed, &did_work);
+      if (flow_ != nullptr) co_await flow_tick(worker, &did_work);
     }
 
     ++worker.iterations;
@@ -159,6 +180,44 @@ Process NodeRuntime::cons_tick(WorkerCtx& worker, int processed, bool* did_work)
   cons_->tick(worker.global_worker, worker.kernel.local_min_ts(), processed, control);
   for (pdes::Event& event : control) {
     co_await send_event(worker, event);
+    *did_work = true;
+  }
+}
+
+Process NodeRuntime::flow_tick(WorkerCtx& worker, bool* did_work) {
+  const int gw = worker.global_worker;
+  const PressureTier tier =
+      flow_->on_tick(gw, worker.kernel.pending_size(), worker.kernel.live_history());
+  if (tier == PressureTier::kRed) {
+    const std::size_t quota = flow_->cancelback_quota(gw);
+    if (quota > 0) {
+      // Return the furthest-ahead pending events to their senders. Events
+      // this worker sent to itself can't ride the transport back — they
+      // stay and drain through the throttled execution instead.
+      std::vector<pdes::Event> back = worker.kernel.extract_cancelback(
+          quota,
+          [&](const pdes::Event& e) { return owners_.worker_of(e.src_lp) != gw; });
+      flow_->note_cancelback(gw, back.size());
+      for (pdes::Event& event : back) {
+        event.kind = pdes::MsgKind::kCancelback;
+        co_await send_event(worker, event);
+        *did_work = true;
+      }
+    }
+  }
+  // Re-deliver parked events whose destinations cooled down (or whose hold
+  // expired — that bound is what keeps GVT progressing under sustained red).
+  std::vector<pdes::Event> out;
+  flow_->release(gw, out);
+  for (pdes::Event& event : out) {
+    if (owners_.worker_of(event.dst_lp) == gw) {
+      // The destination LP migrated onto the parking worker while the event
+      // was held: deposit directly (send_event forbids self-sends).
+      pdes::Outcome o = worker.kernel.deposit(event);
+      co_await handle_outcome(worker, std::move(o));
+    } else {
+      co_await send_event(worker, event);
+    }
     *did_work = true;
   }
 }
@@ -214,8 +273,8 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
     mpi_outbox_.items.pop_front();
     co_await delay(cpu(spec.shm_copy));
     mpi_outbox_.mutex.unlock();
-    co_await fabric_.isend(node_id_, owners_.node_of(event.dst_lp), spec.event_msg_bytes,
-                           NetMsg{event});
+    co_await fabric_.isend(node_id_, owners_.node_of(pdes::route_lp(event)),
+                           spec.event_msg_bytes, NetMsg{event});
     *did_work = true;
   }
   // Unpack arrivals: events to worker remote-inboxes, tokens to the GVT
@@ -245,15 +304,15 @@ Process NodeRuntime::mpi_progress(bool* did_work) {
       // original send is still the only counted send — the receive is
       // counted when the final worker drains it, so GVT transit counting
       // stays balanced across any number of forwarding hops.
-      const int owner_node = owners_.node_of(event->dst_lp);
+      const pdes::LpId route = pdes::route_lp(*event);
+      const int owner_node = owners_.node_of(route);
       if (owner_node != node_id_) {
         CAGVT_CHECK_MSG(event->epoch < owners_.version(),
                         "event misrouted within its own epoch");
         lb_->count_forward();
         co_await fabric_.isend(node_id_, owner_node, spec.event_msg_bytes, NetMsg{*event});
       } else {
-        WorkerCtx& dest =
-            *workers_[static_cast<std::size_t>(owners_.worker_in_node(event->dst_lp))];
+        WorkerCtx& dest = *workers_[static_cast<std::size_t>(owners_.worker_in_node(route))];
         co_await deliver_to_worker(dest, *event);
       }
     } else {
@@ -288,7 +347,8 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
     mpi_lock_.unlock();
     if (const auto* event = std::get_if<pdes::Event>(&*msg)) {
       trace_.mpi_recv(node_id_, worker.index_in_node, "event");
-      const int owner_node = owners_.node_of(event->dst_lp);
+      const pdes::LpId route = pdes::route_lp(*event);
+      const int owner_node = owners_.node_of(route);
       if (owner_node != node_id_) {
         // In-flight across a migration fence: forward to the current owner
         // (see mpi_progress for the transit-counting argument).
@@ -304,8 +364,7 @@ Process NodeRuntime::worker_self_mpi(WorkerCtx& worker, bool* did_work) {
       // worker's still-in-flight delivery of an EARLIER message for the
       // same destination, breaking the per-pair FIFO order annihilation
       // depends on.
-      WorkerCtx& dest =
-          *workers_[static_cast<std::size_t>(owners_.worker_in_node(event->dst_lp))];
+      WorkerCtx& dest = *workers_[static_cast<std::size_t>(owners_.worker_in_node(route))];
       co_await deliver_to_worker(dest, *event);
     } else {
       trace_.mpi_recv(node_id_, worker.index_in_node, "control");
@@ -330,6 +389,16 @@ Process NodeRuntime::drain_inboxes(WorkerCtx& worker, bool* did_work) {
     for (const pdes::Event& event : batch) {
       ++worker.gvt.msgs_recv;
       gvt_->on_recv(worker, event);
+      if (event.kind == pdes::MsgKind::kCancelback) {
+        // A returned event is back at (what was) its source worker: park
+        // it until the destination drains. If the source LP has since
+        // migrated the ledger still works — parked minima bound GVT at the
+        // parking worker, and release re-routes to the current owner.
+        flow_->on_cancelback(worker.global_worker, event,
+                             owners_.worker_of(event.dst_lp));
+        *did_work = true;
+        continue;
+      }
       if (event.kind != pdes::MsgKind::kEvent) {
         // Conservative control message: consumed by the controller, never
         // deposited into a kernel. Intercepted after on_recv so transit
@@ -379,6 +448,10 @@ Process NodeRuntime::flush_round_buffer(WorkerCtx& worker) {
   std::vector<pdes::Event> batch;
   batch.swap(worker.round_buffer);
   for (const pdes::Event& event : batch) {
+    if (event.kind == pdes::MsgKind::kCancelback) {
+      flow_->on_cancelback(worker.global_worker, event, owners_.worker_of(event.dst_lp));
+      continue;
+    }
     if (event.kind != pdes::MsgKind::kEvent) {
       cons_->on_control(worker.global_worker, event);
       continue;
@@ -405,9 +478,15 @@ double NodeRuntime::worker_min_ts(WorkerCtx& worker) {
   // LP state (a null only unlocks pending events, which the kernels' own
   // minima already bound), and a demand request propagated upstream
   // carries X - k*lookahead, which may sit below the adopted GVT.
+  // Cancelbacks ARE included — they carry a live simulation event.
   for (const pdes::Event& event : worker.round_buffer)
-    if (event.kind == pdes::MsgKind::kEvent && event.recv_ts < lowest)
+    if ((event.kind == pdes::MsgKind::kEvent || event.kind == pdes::MsgKind::kCancelback) &&
+        event.recv_ts < lowest)
       lowest = event.recv_ts;
+  // Parked (cancelled-back, not yet re-released) events bound GVT too:
+  // their re-delivery must never be overrun by a round.
+  if (worker.node.flow_ != nullptr)
+    lowest = std::min(lowest, worker.node.flow_->parked_min(worker.global_worker));
   return lowest;
 }
 
@@ -427,15 +506,23 @@ Process NodeRuntime::handle_outcome(WorkerCtx& worker, pdes::Outcome outcome) {
 
 Process NodeRuntime::send_event(WorkerCtx& worker, pdes::Event event) {
   const auto& spec = cfg_.cluster;
+  // An anti-message whose positive twin is parked right here (cancelled
+  // back and not yet re-released) annihilates in place: neither half is
+  // ever sent, so no counting happens for either.
+  if (flow_ != nullptr && event.anti && flow_->absorb_anti(worker.global_worker, event))
+    co_return;
   event.epoch = owners_.version();
   ++worker.gvt.msgs_sent;
   gvt_->on_send(worker, event);  // stamps the colour, updates counters
 
-  const int dest_node = owners_.node_of(event.dst_lp);
+  // Cancelbacks travel to the SOURCE worker of the event they carry; all
+  // other messages to the destination LP's owner.
+  const pdes::LpId route = pdes::route_lp(event);
+  const int dest_node = owners_.node_of(route);
   if (dest_node == node_id_) {
     ++regional_msgs_;
     regional_msgs_metric_.inc();
-    WorkerCtx& dest = *workers_[static_cast<std::size_t>(owners_.worker_in_node(event.dst_lp))];
+    WorkerCtx& dest = *workers_[static_cast<std::size_t>(owners_.worker_in_node(route))];
     CAGVT_ASSERT(&dest != &worker);  // same-thread events never reach here
     co_await dest.regional_in.mutex.lock();
     co_await delay(cpu(spec.shm_copy));
@@ -469,7 +556,9 @@ Process NodeRuntime::checkpoint_worker(WorkerCtx& worker, std::uint64_t round, d
   const auto& spec = cfg_.cluster;
   co_await delay(cpu(spec.ckpt_base +
                      spec.ckpt_per_lp * static_cast<SimTime>(worker.kernel.lp_count())));
-  WorkerSnapshot snap{worker.kernel.snapshot(), worker.round_buffer};
+  WorkerSnapshot snap{worker.kernel.snapshot(), worker.round_buffer,
+                      flow_ != nullptr ? flow_->parked_events(worker.global_worker)
+                                       : std::vector<pdes::Event>{}};
   trace_.ckpt_write(node_id_, worker.index_in_node, round, gvt, snap.bytes());
   recovery_->save_worker(round, gvt, worker.global_worker, std::move(snap));
   if (++ckpt_done_ == cfg_.workers_per_node()) {
@@ -515,6 +604,7 @@ Process NodeRuntime::restore_worker(WorkerCtx& worker, std::uint64_t round) {
   const WorkerSnapshot& snap = ckpt.workers[static_cast<std::size_t>(worker.global_worker)];
   worker.kernel.restore(snap.kernel);
   worker.round_buffer = snap.round_buffer;
+  if (flow_ != nullptr) flow_->restore_parked(worker.global_worker, snap.parked);
   // The checkpointed cut has no in-transit messages, so message-counting
   // state restarts from zero; the efficiency window restarts from the
   // restored commit counters.
@@ -535,6 +625,9 @@ Process NodeRuntime::restore_worker(WorkerCtx& worker, std::uint64_t round) {
     // estimators and any pending plan describe a timeline that no longer
     // exists.
     if (lb_ != nullptr) lb_->on_restore();
+    // Pressure tiers, storm EWMAs and throttle clamps describe the
+    // discarded timeline; the reinstalled parked ledgers stay.
+    if (flow_ != nullptr) flow_->on_restore();
   }
 }
 

@@ -20,6 +20,7 @@
 #include "core/messages.hpp"
 #include "core/recovery.hpp"
 #include "fault/fault_engine.hpp"
+#include "flow/controller.hpp"
 #include "lb/controller.hpp"
 #include "metasim/channel.hpp"
 #include "metasim/process.hpp"
@@ -183,7 +184,7 @@ class NodeRuntime {
               int node_id, ClusterProfiler& profiler, obs::TraceRecorder& trace,
               obs::MetricsRegistry& metrics, const fault::FaultEngine* faults = nullptr,
               RecoveryManager* recovery = nullptr, lb::Controller* lb = nullptr,
-              cons::Controller* cons = nullptr);
+              cons::Controller* cons = nullptr, flow::Controller* flow = nullptr);
 
   /// Initialize kernels and spawn this node's thread coroutines.
   void start();
@@ -208,6 +209,8 @@ class NodeRuntime {
   lb::Controller* lb() { return lb_; }
   /// Null when --sync=optimistic.
   cons::Controller* cons() { return cons_; }
+  /// Null when --flow=off.
+  flow::Controller* flow() { return flow_; }
   const pdes::OwnerTable& owners() const { return owners_; }
 
   /// A worker adopts a freshly computed GVT: fossil-collect, record the
@@ -303,6 +306,10 @@ class NodeRuntime {
   /// Conservative modes: run the controller's per-batch step and route the
   /// control messages (nulls, null requests) it wants sent.
   metasim::Process cons_tick(WorkerCtx& worker, int processed, bool* did_work);
+  /// Overload protection: classify the worker's pool pressure, send
+  /// cancelbacks under red, and re-deliver parked events whose destination
+  /// has cooled down (src/flow).
+  metasim::Process flow_tick(WorkerCtx& worker, bool* did_work);
   metasim::Process send_event(WorkerCtx& worker, pdes::Event event);
   /// kEverywhere placement: this worker performs its own MPI calls under
   /// the node-wide MPI lock (threaded-MPI contention model).
@@ -323,6 +330,7 @@ class NodeRuntime {
   RecoveryManager* recovery_;
   lb::Controller* lb_;
   cons::Controller* cons_;
+  flow::Controller* flow_;
   obs::CounterHandle regional_msgs_metric_;
   obs::CounterHandle remote_msgs_metric_;
 

@@ -55,10 +55,14 @@ struct WorkerSnapshot {
   /// Messages read-but-deferred in the checkpoint round (counted as
   /// received; they are flushed right after the cut, so they are state).
   std::vector<pdes::Event> round_buffer;
+  /// Events parked at this worker's cancelback ledger (--flow=bounded):
+  /// the parked copy is each event's only copy, so it is state too.
+  std::vector<pdes::Event> parked;
 
   std::int64_t bytes() const {
     return kernel.bytes() +
-           static_cast<std::int64_t>(round_buffer.size() * sizeof(pdes::Event));
+           static_cast<std::int64_t>((round_buffer.size() + parked.size()) *
+                                     sizeof(pdes::Event));
   }
 };
 

@@ -1,9 +1,12 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
+
 #include "cons/controller.hpp"
 #include "core/mattern_gvt.hpp"
 #include "core/node_runtime.hpp"
 #include "fault/fault_engine.hpp"
+#include "flow/controller.hpp"
 #include "lb/controller.hpp"
 #include "util/log.hpp"
 
@@ -77,12 +80,23 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   if (cfg_.sync.enabled())
     cons = std::make_unique<cons::Controller>(cfg_.sync, map, model_.lookahead(), cfg_.end_vt);
 
+  // Overload protection (src/flow): only instantiated when requested, so
+  // --flow=off runs never touch the subsystem and stay bit-identical to
+  // earlier builds.
+  std::unique_ptr<flow::Controller> flow;
+  if (cfg_.flow.enabled()) {
+    flow = std::make_unique<flow::Controller>(cfg_.flow,
+                                              cfg_.nodes * cfg_.workers_per_node(),
+                                              faults.get());
+    flow->set_observability(trace.get());
+  }
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
-    nodes.push_back(std::make_unique<NodeRuntime>(engine, fabric, cfg_, map, owners, model_,
-                                                  n, profiler, *trace, *metrics, faults.get(),
-                                                  recovery.get(), balancer.get(), cons.get()));
+    nodes.push_back(std::make_unique<NodeRuntime>(
+        engine, fabric, cfg_, map, owners, model_, n, profiler, *trace, *metrics,
+        faults.get(), recovery.get(), balancer.get(), cons.get(), flow.get()));
   }
   for (auto& node : nodes) node->start();
 
@@ -93,7 +107,7 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     for (auto& node : nodes)
       for (auto& worker : node->workers())
         recovery->save_worker(0, 0.0, worker->global_worker,
-                              {worker->kernel.snapshot(), {}});
+                              {worker->kernel.snapshot(), {}, {}});
     for (auto& node : nodes)
       recovery->node_checkpoint_done(node->rank(), 0,
                                      fabric.snapshot_transport(node->rank()));
@@ -167,6 +181,18 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     result.lb_forwards = balancer->forwards();
     result.avg_lvt_roughness = balancer->avg_roughness();
   }
+  result.peak_event_pool = result.events.pool_peak;
+  if (flow != nullptr) {
+    result.flow_cancelbacks = flow->cancelbacks();
+    result.flow_releases = flow->releases();
+    result.flow_storms = flow->storms();
+    result.flow_throttle_engagements = flow->throttle_engagements();
+    result.flow_forced_rounds = flow->forced_rounds();
+    result.flow_absorbed_antis = flow->absorbed_antis();
+    // The controller's tick-sampled peak is finer than the kernels'
+    // round-sampled one; report the larger.
+    result.peak_event_pool = std::max(result.peak_event_pool, flow->peak_pool());
+  }
 
   // Detach the engine-bound clock (the engine dies with this frame) and
   // mirror the headline results into the registry so a single metrics CSV
@@ -210,6 +236,19 @@ SimulationResult Simulation::run(double max_wall_seconds) {
           .set(static_cast<double>(result.lb_migration_rounds));
       metrics->gauge("run.lb_forwards").set(static_cast<double>(result.lb_forwards));
       metrics->gauge("run.lvt_roughness").set(result.avg_lvt_roughness);
+    }
+    metrics->gauge("flow.peak_event_pool").set(static_cast<double>(result.peak_event_pool));
+    if (flow != nullptr) {
+      metrics->gauge("flow.cancelbacks").set(static_cast<double>(result.flow_cancelbacks));
+      metrics->gauge("flow.releases").set(static_cast<double>(result.flow_releases));
+      metrics->gauge("flow.storms").set(static_cast<double>(result.flow_storms));
+      metrics->gauge("flow.throttle_engagements")
+          .set(static_cast<double>(result.flow_throttle_engagements));
+      metrics->gauge("flow.forced_rounds")
+          .set(static_cast<double>(result.flow_forced_rounds));
+      metrics->gauge("flow.absorbed_antis")
+          .set(static_cast<double>(result.flow_absorbed_antis));
+      metrics->gauge("flow.red_ticks").set(static_cast<double>(flow->red_ticks()));
     }
   }
   if (cfg_.obs.trace) result.trace = trace;

@@ -85,6 +85,18 @@ struct SimulationResult {
   /// Mean per-GVT-round max-min spread of worker LVTs (time-horizon width).
   double cons_horizon_width = 0;
 
+  // --- overload protection (all 0 when --flow=off except peak_event_pool) --
+  std::uint64_t flow_cancelbacks = 0;  // events returned to their senders
+  std::uint64_t flow_releases = 0;     // parked events re-delivered
+  std::uint64_t flow_storms = 0;       // rollback-storm episodes detected
+  std::uint64_t flow_throttle_engagements = 0;  // clamp engage transitions
+  std::uint64_t flow_forced_rounds = 0;         // GVT rounds forced by red pressure
+  std::uint64_t flow_absorbed_antis = 0;        // antis annihilated in the parked ledger
+  /// Largest per-worker event pool (pending + uncommitted history) observed.
+  /// Round-sampled and always on, so --flow=off runs report it too — the
+  /// unbounded-growth evidence in the A10 ablation.
+  std::uint64_t peak_event_pool = 0;
+
   /// Fault-window activations announced during the run (0 when no --fault
   /// schedule was configured; square waves / stall pulses count per cycle).
   std::uint64_t fault_activations = 0;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cons/clamp.hpp"
+
 namespace cagvt::exec {
 
 using core::GvtKind;
@@ -40,8 +42,18 @@ ThreadEngine::ThreadEngine(const core::SimulationConfig& cfg, const pdes::Model&
 
   const pdes::KernelConfig kcfg{cfg_.end_vt, cfg_.seed};
   workers_.reserve(static_cast<std::size_t>(map_.total_workers()));
-  for (int w = 0; w < map_.total_workers(); ++w)
+  for (int w = 0; w < map_.total_workers(); ++w) {
     workers_.push_back(std::make_unique<Worker>(model_, map_, w, kcfg));
+    if (cfg_.flow.enabled()) {
+      // Each worker's detector is fed only from its own kernel (the hook
+      // fires on the owning thread), keeping flow state thread-partitioned.
+      Worker* wp = workers_.back().get();
+      wp->storm = flow::StormDetector(cfg_.flow.storm);
+      wp->kernel.set_rollback_hook([wp](std::uint64_t depth, bool secondary) {
+        wp->storm.note(depth, secondary);
+      });
+    }
+  }
   if (uses_outbox()) {
     outboxes_.reserve(static_cast<std::size_t>(cfg_.nodes));
     for (int n = 0; n < cfg_.nodes; ++n)
@@ -141,6 +153,55 @@ void ThreadEngine::maybe_announce(Worker& self, int w) {
   }
 }
 
+void ThreadEngine::flow_tick(Worker& self) {
+  const core::FlowPressurePolicy policy{static_cast<std::uint64_t>(cfg_.flow.mem)};
+  const std::size_t pool = self.kernel.pending_size() + self.kernel.live_history();
+  self.tier = policy.classify(pool);
+  if (self.tier != core::PressureTier::kGreen && self.bound == pdes::kVtInfinity) {
+    // Engage immediately — waiting for the next adoption would let
+    // speculation overshoot the budget by a whole round's worth of history.
+    ++self.throttle_engagements;
+    self.bound = self.last_gvt + std::max(cfg_.flow.clamp, 1.0);
+  }
+  if (self.tier == core::PressureTier::kRed && !self.red_announced) {
+    // Pressure signaling through the fence: pull the fleet into a round so
+    // the adopted GVT can fossil-collect the pool. One announce per round —
+    // re-announcing while the round is pending would only re-arm the fence.
+    fence_->announce();
+    self.red_announced = true;
+    ++self.forced_rounds;
+  }
+}
+
+void ThreadEngine::flow_adopt(Worker& self, double gvt) {
+  self.last_gvt = gvt;
+  const bool storming = self.storm.fold_round();
+  const core::FlowPressurePolicy policy{static_cast<std::uint64_t>(cfg_.flow.mem)};
+  const std::size_t pool = self.kernel.pending_size() + self.kernel.live_history();
+  self.tier = policy.classify(pool);
+  self.red_announced = false;
+  const pdes::VirtualTime width = std::max(cfg_.flow.clamp, 1.0);
+  const bool stressed = storming || self.tier != core::PressureTier::kGreen;
+  if (stressed) {
+    self.calm = 0;
+    if (self.bound == pdes::kVtInfinity) {
+      ++self.throttle_engagements;
+      self.bound = gvt + width;
+    } else {
+      self.bound = cons::advance_clamp(self.bound, gvt, width);
+    }
+  } else if (self.bound != pdes::kVtInfinity) {
+    if (++self.calm >= kCalmRounds) {
+      self.bound = pdes::kVtInfinity;
+      self.calm = 0;
+    } else {
+      // Cooling off: keep the clamp sliding so progress never stalls while
+      // the hysteresis window drains.
+      self.bound = cons::advance_clamp(self.bound, gvt, width);
+    }
+  }
+}
+
 FenceContribution ThreadEngine::contribute(Worker& self) {
   FenceContribution c;
   c.min_ts = self.kernel.local_min_ts();
@@ -161,11 +222,17 @@ void ThreadEngine::worker_main(int w) {
       cfg_.mpi == MpiPlacement::kCombined && map_.worker_in_node_of(w) == 0;
   const auto poll_period = static_cast<std::uint64_t>(cfg_.combined_mpi_poll_period);
 
+  const bool flow_on = cfg_.flow.enabled();
+
   for (;;) {
     drain_inbox(self, node);
+    bool executed = false;
     for (int i = 0; i < cfg_.batch; ++i) {
-      pdes::Outcome out = self.kernel.process_next();
+      pdes::Outcome out = self.bound == pdes::kVtInfinity
+                              ? self.kernel.process_next()
+                              : self.kernel.process_next_bounded(self.bound);
       if (!out.processed) break;
+      executed = true;
       route_externals(self, node, out.external);
     }
     ++self.iterations;
@@ -173,6 +240,7 @@ void ThreadEngine::worker_main(int w) {
     if (combined_duty && self.iterations % poll_period == 0)
       forward_outbox(node, self.drain_buf);
 
+    if (flow_on) flow_tick(self);
     maybe_announce(self, w);
     if (fence_->announced()) {
       const FenceRound round = fence_->run_round(
@@ -182,11 +250,17 @@ void ThreadEngine::worker_main(int w) {
             if (combined_duty) forward_outbox(node, self.drain_buf);
           },
           [&] { return contribute(self); },
-          [&](double gvt) { self.kernel.fossil_collect(gvt); });
+          [&](double gvt) {
+            self.kernel.sample_pool_peak();
+            if (flow_on) flow_adopt(self, gvt);
+            self.kernel.fossil_collect(gvt);
+          });
       self.iters_since_round = 0;
       if (round.stop) return;
-    } else if (self.kernel.idle() && self.inbox.approx_empty()) {
-      std::this_thread::yield();  // out of work until a message or a round
+    } else if (!executed && self.inbox.approx_empty()) {
+      // Out of work until a message or a round — either truly idle, or
+      // throttled below the clamp with everything pending above it.
+      std::this_thread::yield();
     }
   }
 }
@@ -239,13 +313,20 @@ core::SimulationResult ThreadEngine::run(double max_wall_seconds) {
   core::SimulationResult result;
   result.completed = fence_->completed();
   for (auto& worker : workers_) {
+    worker->kernel.sample_pool_peak();  // capture the shutdown occupancy
     worker->kernel.final_commit();
     result.events += worker->kernel.stats();
     result.committed_fingerprint += worker->kernel.committed_fingerprint();
     result.state_hash += worker->kernel.state_hash();
     result.regional_msgs += worker->regional_msgs;
     result.remote_msgs += worker->remote_msgs;
+    if (cfg_.flow.enabled()) {
+      result.flow_storms += worker->storm.storms();
+      result.flow_throttle_engagements += worker->throttle_engagements;
+      result.flow_forced_rounds += worker->forced_rounds;
+    }
   }
+  result.peak_event_pool = result.events.pool_peak;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   result.committed_rate =

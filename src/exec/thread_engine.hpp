@@ -14,6 +14,15 @@
 //   * the cooperative GVT round is replaced by exec::GvtFence; the three
 //     GvtKinds differ only in WHO announces a round and WHEN (see
 //     maybe_announce), the fence protocol itself is shared
+//   * overload protection (--flow=bounded) stays thread-partitioned: each
+//     worker owns its StormDetector, pressure tier, and throttle bound, fed
+//     only from its own kernel. Red pressure signals the fleet through the
+//     fence (announce a round so fossil collection can relieve the pool);
+//     there is no cancelback here — no simulated transport to carry events
+//     back — so relief is forced rounds plus the optimism clamp. The shared
+//     arithmetic (core::FlowPressurePolicy, cons::advance_clamp,
+//     flow::StormDetector) is identical to the coroutine backend's
+//     flow::Controller, so pressure semantics cannot diverge.
 //
 // The kernels stay single-owner — only the owning thread touches its
 // pending set and rollback machinery; cross-thread hand-off happens
@@ -35,9 +44,11 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/gvt_policy.hpp"
 #include "core/simulation.hpp"
 #include "exec/gvt_fence.hpp"
 #include "exec/mpsc_queue.hpp"
+#include "flow/storm_detector.hpp"
 #include "pdes/kernel.hpp"
 #include "pdes/mapping.hpp"
 #include "pdes/model.hpp"
@@ -72,6 +83,16 @@ class ThreadEngine {
     std::uint64_t last_rolled_back = 0;
     std::uint64_t regional_msgs = 0;
     std::uint64_t remote_msgs = 0;
+
+    // --- overload protection (--flow=bounded), all owner-thread-only ------
+    flow::StormDetector storm{};            // threshold set by the ctor
+    core::PressureTier tier = core::PressureTier::kGreen;
+    pdes::VirtualTime bound = pdes::kVtInfinity;  // throttle clamp
+    pdes::VirtualTime last_gvt = 0;         // last adopted round value
+    int calm = 0;                           // hysteresis rounds below stress
+    bool red_announced = false;             // one forced announce per round
+    std::uint64_t throttle_engagements = 0;
+    std::uint64_t forced_rounds = 0;
   };
 
   void worker_main(int w);
@@ -91,8 +112,19 @@ class ThreadEngine {
   /// Per-GvtKind round trigger, evaluated once per worker loop iteration.
   void maybe_announce(Worker& self, int w);
   FenceContribution contribute(Worker& self);
+  /// Classify this worker's event-pool pressure; red announces a fence
+  /// round (once per round) so fossil collection can relieve the pool.
+  void flow_tick(Worker& self);
+  /// Per-round overload bookkeeping at GVT adoption: fold the storm
+  /// detector, reclassify pressure, and engage/advance/release the
+  /// throttle clamp with hysteresis (same rule as flow::Controller).
+  void flow_adopt(Worker& self, double gvt);
 
   bool uses_outbox() const { return cfg_.mpi != core::MpiPlacement::kEverywhere; }
+
+  /// Throttle hysteresis: stress-free rounds before the clamp releases
+  /// (mirrors flow::Controller::kCalmRounds).
+  static constexpr int kCalmRounds = 2;
 
   core::SimulationConfig cfg_;
   const pdes::Model& model_;

@@ -60,6 +60,12 @@ FaultEngine::FaultEngine(std::vector<FaultSpec> specs, std::uint64_t seed, int n
         spec.end = spec.window_end();
         crashes_by_node_[static_cast<std::size_t>(spec.node)].push_back(i);
         break;
+      case FaultKind::kMemSqueeze:
+        // Worker targets are global worker indices, validated against the
+        // cluster's worker count by SimulationConfig::validate (the engine
+        // only knows nodes).
+        mem_specs_.push_back(i);
+        break;
     }
   }
 }
@@ -194,6 +200,19 @@ bool FaultEngine::drop_frame(int src, int dst, FrameClass cls) {
 
 bool FaultEngine::node_down(int node) const { return node_restart_at(node) != 0; }
 
+std::int64_t FaultEngine::mem_budget(int worker) const {
+  if (mem_specs_.empty()) return 0;
+  const SimTime t = now();
+  std::int64_t budget = 0;
+  for (const std::size_t i : mem_specs_) {
+    const FaultSpec& spec = specs_[i];
+    if (t < spec.start || t >= spec.end) continue;
+    if (spec.worker >= 0 && spec.worker != worker) continue;
+    if (budget == 0 || spec.budget < budget) budget = spec.budget;
+  }
+  return budget;
+}
+
 SimTime FaultEngine::node_restart_at(int node) const {
   const auto& affecting = crashes_by_node_[static_cast<std::size_t>(node)];
   if (affecting.empty()) return 0;
@@ -228,7 +247,9 @@ void FaultEngine::announce(const FaultSpec& spec, std::size_t index, bool on) {
   const double magnitude = spec.kind == FaultKind::kStraggler      ? spec.slow
                            : spec.kind == FaultKind::kLinkDegrade ? spec.latency_factor
                            : spec.kind == FaultKind::kLoss        ? spec.rate
-                                                                  : 0.0;
+                           : spec.kind == FaultKind::kMemSqueeze
+                               ? static_cast<double>(spec.budget)
+                               : 0.0;
   const int target =
       spec.kind == FaultKind::kLinkDegrade || spec.kind == FaultKind::kLoss ? spec.src
                                                                             : spec.node;

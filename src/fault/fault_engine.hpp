@@ -70,6 +70,11 @@ class FaultEngine {
   bool node_down(int node) const;
   /// End of the crash window `node` is currently inside (0 if up).
   metasim::SimTime node_restart_at(int node) const;
+  /// Smallest event-pool budget an active `mem:` squeeze imposes on global
+  /// `worker` right now (specs with worker=-1 match every worker); 0 = no
+  /// squeeze active. Memory-bounded optimism (src/flow) caps the worker's
+  /// effective budget at min(configured budget, this value).
+  std::int64_t mem_budget(int worker) const;
 
   /// Does the schedule contain loss or crash specs? Those require the
   /// sequence-numbered reliable transport (net/reliable.hpp); without them
@@ -113,6 +118,7 @@ class FaultEngine {
   std::vector<std::size_t> link_specs_;
   std::vector<std::size_t> loss_specs_;
   std::vector<std::vector<std::size_t>> crashes_by_node_;
+  std::vector<std::size_t> mem_specs_;
 
   // Draw state: per spec, per (src, dst) pair, the next counter of its
   // CounterRng stream (link jitter and loss coin-flips share the layout;

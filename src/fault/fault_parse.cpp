@@ -80,6 +80,23 @@ int parse_node(Token tok) {
   return static_cast<int>(value);
 }
 
+/// "3" or "all" (-1), but a global worker index (mem squeezes target
+/// workers, not nodes).
+int parse_worker(Token tok) {
+  if (tok.text == "all" || tok.text == "*") return -1;
+  const double value = parse_number(tok, "worker id");
+  if (value < 0 || value != std::floor(value)) fail("invalid worker id", tok.text, tok.pos);
+  return static_cast<int>(value);
+}
+
+/// Positive integer event count for mem budgets.
+std::int64_t parse_budget(Token tok) {
+  const double value = parse_number(tok, "budget");
+  if (value < 1 || value != std::floor(value))
+    fail("invalid budget (need a positive event count)", tok.text, tok.pos);
+  return static_cast<std::int64_t>(value);
+}
+
 /// "START..END" with either side omissible.
 void parse_window(Token tok, FaultSpec& spec) {
   const auto dots = tok.text.find("..");
@@ -103,7 +120,9 @@ FaultKind parse_kind(Token tok) {
   if (tok.text == "mpistall" || tok.text == "stall") return FaultKind::kMpiStall;
   if (tok.text == "loss") return FaultKind::kLoss;
   if (tok.text == "crash") return FaultKind::kCrash;
-  fail("unknown fault kind", tok.text, tok.pos);
+  if (tok.text == "mem") return FaultKind::kMemSqueeze;
+  fail("unknown fault kind (expected straggler, link, mpistall, loss, crash, or mem)",
+       tok.text, tok.pos);
 }
 
 FrameClass parse_frame_class(Token tok) {
@@ -156,6 +175,10 @@ void apply_param(FaultSpec& spec, Token key, Token value) {
   } else if (k == "period" &&
              (spec.kind == FaultKind::kStraggler || spec.kind == FaultKind::kMpiStall)) {
     spec.period = parse_time(value);
+  } else if (k == "worker" && spec.kind == FaultKind::kMemSqueeze) {
+    spec.worker = parse_worker(value);
+  } else if (k == "budget" && spec.kind == FaultKind::kMemSqueeze) {
+    spec.budget = parse_budget(value);
   } else {
     fail("unknown parameter for '" + std::string(to_string(spec.kind)) + "' fault",
          key.text, key.pos);
@@ -249,6 +272,10 @@ std::string describe(const FaultSpec& spec) {
       out += ",down=" + time(spec.down);
       out += ",t=" + time(spec.start);
       return out;  // the window is (start, down); no START..END suffix
+    case FaultKind::kMemSqueeze:
+      out += ":worker=" + target(spec.worker);
+      out += ",budget=" + std::to_string(spec.budget);
+      break;
   }
   out += ",t=" + time(spec.start) + ".." + time(spec.end);
   return out;

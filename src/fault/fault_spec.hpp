@@ -26,6 +26,9 @@ enum class FaultKind {
   kLoss,         // per-link frame loss (deterministic coin-flip or window)
   kCrash,        // whole-node crash: down for a window, then restart; the
                  // cluster restores from its last GVT-aligned checkpoint
+  kMemSqueeze,   // per-worker event-pool budget squeeze: while active,
+                 // memory-bounded optimism (--flow=bounded) caps the
+                 // worker's pool at min(flow budget, squeeze budget)
 };
 
 /// Which traffic a kLoss spec drops. Acks travel the control plane.
@@ -84,6 +87,13 @@ struct FaultSpec {
   /// FaultEngine derive `end` = start + down from it.
   metasim::SimTime down = 0;
 
+  /// Mem squeeze: target worker (global index); -1 = every worker. Distinct
+  /// from `node` — pressure budgets are per worker, not per node.
+  int worker = -1;
+  /// Mem squeeze: event-pool budget (pending + uncommitted history) the
+  /// targeted workers are squeezed to while the window is active.
+  std::int64_t budget = 0;
+
   /// Effective end of the active window: crash specs carry their window as
   /// (start, down), every other kind carries it as [start, end) directly.
   metasim::SimTime window_end() const {
@@ -102,6 +112,7 @@ inline std::string_view to_string(FaultKind kind) {
     case FaultKind::kMpiStall: return "mpistall";
     case FaultKind::kLoss: return "loss";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kMemSqueeze: return "mem";
   }
   return "?";
 }
@@ -157,6 +168,9 @@ inline void FaultSpec::validate(std::size_t index) const {
     case FaultKind::kCrash:
       if (node < 0) fail("crash needs a specific node (node=K, not 'all')");
       if (down <= 0) fail("crash needs down > 0 (how long the node stays down)");
+      break;
+    case FaultKind::kMemSqueeze:
+      if (budget <= 0) fail("mem needs budget > 0 (events per worker)");
       break;
   }
 }

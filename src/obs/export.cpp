@@ -79,6 +79,9 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kRetransmit: return "retransmit";
     case RecordKind::kLbRoughness: return "lb_roughness";
     case RecordKind::kLbMigrate: return "lb_migrate";
+    case RecordKind::kFlowPressure: return "flow_pressure";
+    case RecordKind::kFlowStorm: return "flow_storm";
+    case RecordKind::kFlowCancelback: return "flow_cancelback";
   }
   return "?";
 }
@@ -263,6 +266,26 @@ std::string to_chrome_trace_json(const TraceRecorder& recorder) {
                 ",\"src\":%d,\"dst\":%d,\"bytes\":%" PRId64 "}}",
                 rec.round, rec.u, static_cast<int>(rec.a), static_cast<int>(rec.b),
                 rec.value);
+        break;
+      case RecordKind::kFlowPressure:
+        // Counter track: each worker's pool occupancy at its tier crossings.
+        append_event_prefix(out, "C", rec);
+        append_name(out, "flow_pool", "");
+        appendf(out, ",\"args\":{\"pool\":%.9g,\"budget\":%.9g}}",
+                json_double(rec.a), json_double(rec.b));
+        break;
+      case RecordKind::kFlowStorm:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "flow_storm", rec.label);
+        appendf(out, ",\"s\":\"g\",\"args\":{\"round\":%" PRIu64
+                ",\"secondary_ewma\":%.9g,\"depth_ewma\":%.9g}}",
+                rec.round, json_double(rec.a), json_double(rec.b));
+        break;
+      case RecordKind::kFlowCancelback:
+        append_event_prefix(out, "i", rec);
+        append_name(out, "flow_cancelback", "");
+        appendf(out, ",\"s\":\"t\",\"args\":{\"round\":%" PRIu64 ",\"events\":%" PRId64 "}}",
+                rec.round, rec.value);
         break;
     }
   }

@@ -50,6 +50,12 @@ enum class RecordKind : std::uint8_t {
                  // width, value = 1 if the balancer triggered)
   kLbMigrate,    // one LP moved at a GVT fence (u = LP, a = src worker,
                  // b = dst worker, value = package bytes)
+  kFlowPressure, // a worker's event-pool pressure tier changed (u = tier
+                 // 0/1/2, a = pool occupancy, b = effective budget)
+  kFlowStorm,    // rollback-storm detector flipped (value = 1 start / 0 end,
+                 // a = secondary-rollback EWMA, b = depth EWMA)
+  kFlowCancelback, // a batch of pending events was returned to senders
+                 // (value = events in the batch)
 };
 
 const char* to_string(RecordKind kind);
@@ -195,6 +201,26 @@ class TraceRecorder {
     emit({.kind = RecordKind::kLbMigrate, .round = round,
           .a = static_cast<double>(src_worker), .b = static_cast<double>(dst_worker),
           .u = lp, .value = bytes});
+  }
+  /// `worker`'s event-pool pressure crossed a tier boundary (src/flow).
+  void flow_pressure(int worker, std::uint64_t round, int tier, std::int64_t pool,
+                     std::int64_t budget) {
+    emit({.kind = RecordKind::kFlowPressure, .worker = narrow(worker), .round = round,
+          .a = static_cast<double>(pool), .b = static_cast<double>(budget),
+          .u = static_cast<std::uint64_t>(tier),
+          .label = tier == 2 ? "red" : tier == 1 ? "yellow" : "green"});
+  }
+  /// `worker`'s rollback-storm detector engaged (`start`) or released.
+  void flow_storm(int worker, std::uint64_t round, bool start, double secondary_ewma,
+                  double depth_ewma) {
+    emit({.kind = RecordKind::kFlowStorm, .worker = narrow(worker), .round = round,
+          .a = secondary_ewma, .b = depth_ewma, .value = start ? 1 : 0,
+          .label = start ? "start" : "end"});
+  }
+  /// `worker` returned `count` pending events to their senders.
+  void flow_cancelback(int worker, std::uint64_t round, std::int64_t count) {
+    emit({.kind = RecordKind::kFlowCancelback, .worker = narrow(worker), .round = round,
+          .value = count});
   }
 
   // --- inspection ----------------------------------------------------------

@@ -27,6 +27,9 @@ enum class MsgKind : std::uint8_t {
   kEvent = 0,        // a simulation event (positive or anti)
   kNull = 1,         // CMB null message: recv_ts carries the guarantee
   kNullRequest = 2,  // demand-driven null request: recv_ts carries the bound
+  kCancelback = 3,   // overload relief: an unprocessed event returned to its
+                     // sender (src/flow); unlike kNull/kNullRequest it carries
+                     // a real simulation event, so it stays in GVT minima
 };
 
 /// A time-stamped event message. `uid` is replay-stable: an event's id is a
@@ -65,5 +68,12 @@ struct EventKey {
 };
 
 inline EventKey key_of(const Event& e) { return EventKey{e.recv_ts, e.uid}; }
+
+/// Routing key for transport: a cancelback travels *backwards* — to the
+/// worker owning the LP that sent the event — so flow control can park it
+/// at its source; everything else routes to its destination LP.
+inline LpId route_lp(const Event& e) {
+  return e.kind == MsgKind::kCancelback ? e.src_lp : e.dst_lp;
+}
 
 }  // namespace cagvt::pdes

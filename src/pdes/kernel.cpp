@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 namespace cagvt::pdes {
@@ -246,7 +247,7 @@ bool ThreadKernel::rollback(Lp& lp, EventKey target, bool annihilate_target, Out
       break;
     }
   }
-  CAGVT_CHECK_MSG(!annihilate_target || target_found || cfg_.dynamic_placement,
+  CAGVT_CHECK_MSG(!annihilate_target || target_found || cfg_.dynamic_placement || cfg_.cancelback,
                   "anti-message target missing from history (transport order violated)");
   if (lp.history.empty()) {
     lp.last_processed = EventKey{};
@@ -276,6 +277,8 @@ bool ThreadKernel::consume_surplus(std::uint64_t uid) {
 
 void ThreadKernel::note_rollback(LpId lp, int depth, const char* cause) {
   rollback_depth_.observe(static_cast<double>(depth));
+  if (rollback_hook_)
+    rollback_hook_(static_cast<std::uint64_t>(depth), std::strcmp(cause, "anti") == 0);
   if (trace_ != nullptr)
     trace_->rollback(obs_node_, obs_worker_, static_cast<std::uint64_t>(lp), depth, cause);
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -45,6 +46,12 @@ struct KernelConfig {
   /// kernel must tolerate duplicate positives and antis that overtook
   /// their positive — orderings the strict FIFO CHECKs reject otherwise.
   bool dynamic_placement = false;
+  /// Overload relief (`--flow=bounded`) may extract a pending event and
+  /// return it to its sender, to be re-delivered later. An anti-message can
+  /// then reach this kernel before its positive comes back — a FIFO-order
+  /// violation the strict transport CHECKs reject otherwise; with this flag
+  /// the anti is stashed early and annihilates on re-delivery.
+  bool cancelback = false;
 };
 
 /// Result of one deposit() or process_next() call.
@@ -191,6 +198,38 @@ class ThreadKernel {
     obs_worker_ = worker_in_node;
   }
 
+  /// Uncommitted history records across all owned LPs. Together with
+  /// pending_size() this is the worker's event-pool occupancy — the
+  /// quantity memory-bounded optimism (src/flow) budgets.
+  std::size_t live_history() const { return live_history_; }
+
+  /// Fold the current event-pool occupancy into stats().pool_peak. Called
+  /// once per GVT round at adoption (before fossil collection frees the
+  /// round's history), so the peak is visible even with --flow=off at zero
+  /// hot-path cost.
+  void sample_pool_peak() {
+    const std::size_t pool = pending_.size() + live_history_;
+    if (pool > stats_.pool_peak) stats_.pool_peak = pool;
+  }
+
+  /// Cancelback relief: remove and return up to `max_count` of the
+  /// furthest-ahead pending events for which `eligible` is true, so the
+  /// caller can hand them back to their senders. The events leave this
+  /// kernel entirely; an anti that arrives before the re-delivered
+  /// positive takes the early-anti path (KernelConfig::cancelback).
+  template <typename Pred>
+  std::vector<Event> extract_cancelback(std::size_t max_count, Pred&& eligible) {
+    std::vector<Event> out = pending_.extract_top(max_count, std::forward<Pred>(eligible));
+    stats_.cancelled_back += out.size();
+    return out;
+  }
+
+  /// Hook invoked once per rollback episode with (events undone, caused by
+  /// an anti-message). The storm detector (src/flow) listens here; the
+  /// kernel's logic is unaffected. Null (default) costs one branch.
+  using RollbackHook = std::function<void(std::uint64_t depth, bool secondary)>;
+  void set_rollback_hook(RollbackHook hook) { rollback_hook_ = std::move(hook); }
+
   const KernelStats& stats() const { return stats_; }
   /// Order-independent fingerprint of all committed events; equal runs
   /// (any layout, any GVT algorithm, or the sequential reference) must
@@ -281,6 +320,7 @@ class ThreadKernel {
   std::uint64_t committed_fingerprint_ = 0;
   std::size_t live_history_ = 0;  // total uncommitted records across LPs
 
+  RollbackHook rollback_hook_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::HistogramHandle rollback_depth_;
   int obs_node_ = -1;

@@ -85,6 +85,41 @@ class PendingSet {
     return moved;
   }
 
+  /// Remove and return up to `max_count` live events with the *largest*
+  /// keys for which `eligible` returns true (cancelback relief hands back
+  /// the furthest-ahead speculation first — the events least likely to be
+  /// needed soon). Same O(n log n) rebuild as extract_lp; only runs under
+  /// red memory pressure, never on the event-processing fast path.
+  template <typename Pred>
+  std::vector<Event> extract_top(std::size_t max_count, Pred&& eligible) {
+    std::vector<Event> all;
+    all.reserve(live_.size());
+    while (!heap_.empty()) {
+      const Event& top = heap_.top();
+      // Consume the uid on first sight (see extract_lp).
+      if (live_.erase(top.uid) > 0) all.push_back(top);
+      heap_.pop();
+    }
+    heap_ = {};
+    // Pops come off the min-heap in ascending key order; walk backwards to
+    // take the largest eligible keys.
+    std::vector<Event> taken;
+    std::vector<Event> kept;
+    kept.reserve(all.size());
+    for (auto it = all.rbegin(); it != all.rend(); ++it) {
+      if (taken.size() < max_count && eligible(*it)) {
+        taken.push_back(*it);
+      } else {
+        kept.push_back(*it);
+      }
+    }
+    for (const Event& e : kept) {
+      live_.insert(e.uid);
+      heap_.push(e);
+    }
+    return taken;
+  }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const { return key_of(a) > key_of(b); }

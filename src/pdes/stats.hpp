@@ -24,7 +24,13 @@ struct KernelStats {
   /// fence splits a sender's FIFO stream across the old-owner detour and
   /// the direct path, so duplicates and orphaned antis can arrive.
   std::uint64_t migration_reorders = 0;
+  std::uint64_t cancelled_back = 0;        // pending events returned to senders
+                                           // by overload relief (src/flow)
   std::size_t max_history = 0;             // peak uncommitted records (memory)
+  /// Peak event pool (pending + uncommitted history), sampled once per GVT
+  /// round at adoption time — cheap enough to stay on even with --flow=off,
+  /// which is how the overload ablation measures unconstrained growth.
+  std::size_t pool_peak = 0;
 
   /// Paper metric: committed over total executed. Equals the paper's
   /// committed/generated for PHOLD (each execution generates one event).
@@ -47,7 +53,9 @@ struct KernelStats {
     annihilated_early += o.annihilated_early;
     local_cancellations += o.local_cancellations;
     migration_reorders += o.migration_reorders;
+    cancelled_back += o.cancelled_back;
     if (o.max_history > max_history) max_history = o.max_history;
+    if (o.pool_peak > pool_peak) pool_peak = o.pool_peak;
     return *this;
   }
 };

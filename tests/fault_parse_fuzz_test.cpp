@@ -32,13 +32,14 @@ class SpecGenerator {
     FaultSpec spec;
     spec.kind = pick<FaultKind>({FaultKind::kStraggler, FaultKind::kLinkDegrade,
                                  FaultKind::kMpiStall, FaultKind::kLoss,
-                                 FaultKind::kCrash});
+                                 FaultKind::kCrash, FaultKind::kMemSqueeze});
     switch (spec.kind) {
       case FaultKind::kStraggler: fill_straggler(spec); break;
       case FaultKind::kLinkDegrade: fill_link(spec); break;
       case FaultKind::kMpiStall: fill_mpistall(spec); break;
       case FaultKind::kLoss: fill_loss(spec); break;
       case FaultKind::kCrash: fill_crash(spec); break;
+      case FaultKind::kMemSqueeze: fill_mem(spec); break;
     }
     spec.validate();  // the generator must only emit valid specs
     return spec;
@@ -102,6 +103,12 @@ class SpecGenerator {
     spec.loss_class =
         pick<FrameClass>({FrameClass::kAll, FrameClass::kData, FrameClass::kControl});
     window(spec, spec.rate < 1.0);
+  }
+
+  void fill_mem(FaultSpec& spec) {
+    spec.worker = pick<int>({-1, 0, 1, 3, 15});  // -1 = every worker
+    spec.budget = pick<std::int64_t>({1, 64, 256, 4096});
+    window(spec, true);
   }
 
   void fill_crash(FaultSpec& spec) {

@@ -1,0 +1,111 @@
+// StormDetector unit coverage over synthetic rollback streams: healthy
+// straggler-dominated speculation must never be declared a storm, an
+// anti-message echo cascade must be (via the secondary-fraction EWMA), a
+// deepening cascade must trip the slope trigger even while the secondary
+// fraction is below threshold, and a declared storm must release with
+// hysteresis — not on the first calm round.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "flow/storm_detector.hpp"
+
+namespace cagvt::flow {
+namespace {
+
+/// One GVT round of `episodes` rollback episodes, `secondary` of which were
+/// caused by anti-messages, all of uniform `depth`. Returns storming().
+bool feed_round(StormDetector& det, int episodes, int secondary, std::uint64_t depth) {
+  for (int i = 0; i < episodes; ++i)
+    det.note(depth, /*secondary=*/i < secondary);
+  return det.fold_round();
+}
+
+TEST(StormDetectorTest, HealthySpeculationNeverStorms) {
+  // Straggler-dominated rounds with shallow cascades: the normal cost of
+  // optimism, not a storm.
+  StormDetector det(0.5);
+  for (int round = 0; round < 50; ++round)
+    EXPECT_FALSE(feed_round(det, /*episodes=*/10, /*secondary=*/2, /*depth=*/2));
+  EXPECT_EQ(det.storms(), 0u);
+  EXPECT_LT(det.secondary_fraction(), 0.5);
+}
+
+TEST(StormDetectorTest, IdleAndTrickleRoundsAreIgnored) {
+  // Rounds below the minimum-episode floor carry no storm evidence even if
+  // every episode is secondary (a single anti annihilation is not an echo).
+  StormDetector det(0.5);
+  for (int round = 0; round < 30; ++round)
+    EXPECT_FALSE(feed_round(det, /*episodes=*/2, /*secondary=*/2, /*depth=*/30));
+  EXPECT_EQ(det.storms(), 0u);
+  // Fully idle rounds neither: the EWMAs decay toward zero.
+  for (int round = 0; round < 30; ++round) EXPECT_FALSE(feed_round(det, 0, 0, 0));
+  EXPECT_EQ(det.storms(), 0u);
+}
+
+TEST(StormDetectorTest, EchoCascadeTripsSecondaryFraction) {
+  // Anti-dominated rounds: the EWMA climbs past the threshold within a few
+  // rounds and a storm is declared exactly once.
+  StormDetector det(0.5);
+  bool declared = false;
+  for (int round = 0; round < 10; ++round)
+    declared = feed_round(det, /*episodes=*/20, /*secondary=*/18, /*depth=*/3) || declared;
+  EXPECT_TRUE(declared);
+  EXPECT_TRUE(det.storming());
+  EXPECT_EQ(det.storms(), 1u);
+  EXPECT_GE(det.secondary_fraction(), 0.5);
+}
+
+TEST(StormDetectorTest, DeepeningCascadeTripsSlopeTrigger) {
+  // Secondary fraction stays below threshold, but the mean depth grows
+  // every round — a diverging cascade the slope trigger must catch.
+  StormDetector det(0.9);  // secondary trigger effectively disabled
+  bool declared = false;
+  for (int round = 0; round < 12; ++round) {
+    const auto depth = static_cast<std::uint64_t>(8 + 6 * round);
+    declared = feed_round(det, /*episodes=*/10, /*secondary=*/3, depth) || declared;
+  }
+  EXPECT_TRUE(declared);
+  EXPECT_LT(det.secondary_fraction(), 0.9);
+  EXPECT_GT(det.depth_slope(), 0.0);
+}
+
+TEST(StormDetectorTest, ReleasesWithHysteresisNotFirstCalmRound) {
+  StormDetector det(0.5);
+  for (int round = 0; round < 10; ++round)
+    feed_round(det, /*episodes=*/20, /*secondary=*/18, /*depth=*/3);
+  ASSERT_TRUE(det.storming());
+
+  // First quiet round: still storming (hysteresis holds the declaration).
+  EXPECT_TRUE(feed_round(det, 0, 0, 0));
+  // Second consecutive quiet round releases it.
+  EXPECT_FALSE(feed_round(det, 0, 0, 0));
+  EXPECT_FALSE(det.storming());
+  EXPECT_EQ(det.storms(), 1u);
+
+  // A relapse is a NEW storm episode.
+  for (int round = 0; round < 10; ++round)
+    feed_round(det, /*episodes=*/20, /*secondary=*/18, /*depth=*/3);
+  EXPECT_TRUE(det.storming());
+  EXPECT_EQ(det.storms(), 2u);
+}
+
+TEST(StormDetectorTest, ResetClearsStateButKeepsThreshold) {
+  StormDetector det(0.5);
+  for (int round = 0; round < 10; ++round)
+    feed_round(det, /*episodes=*/20, /*secondary=*/18, /*depth=*/3);
+  ASSERT_TRUE(det.storming());
+
+  det.reset();
+  EXPECT_FALSE(det.storming());
+  EXPECT_EQ(det.storms(), 0u);
+  EXPECT_DOUBLE_EQ(det.secondary_fraction(), 0.0);
+  // The threshold survives the reset: the same echo stream storms again.
+  bool declared = false;
+  for (int round = 0; round < 10; ++round)
+    declared = feed_round(det, 20, 18, 3) || declared;
+  EXPECT_TRUE(declared);
+}
+
+}  // namespace
+}  // namespace cagvt::flow
