@@ -13,38 +13,27 @@
 namespace cagvt::bench {
 namespace {
 
-SimulationConfig fig3_config(int nodes) {
-  return core::scaled_config(nodes, 2.0 * core::bench_scale_from_env());
-}
-
-void point(benchmark::State& state, GvtKind gvt, MpiPlacement mpi) {
-  SimulationConfig cfg = fig3_config(static_cast<int>(state.range(0)));
+SimulationResult point(int nodes, GvtKind gvt, MpiPlacement mpi) {
+  SimulationConfig cfg =
+      core::scaled_config(nodes, 2.0 * core::bench_scale_from_env());
   cfg.gvt = gvt;
   cfg.mpi = mpi;
-  SimulationResult result;
-  for (auto _ : state) result = core::run_phold(cfg, Workload::computation());
-  export_counters(state, result);
+  return core::run_phold(cfg, Workload::computation());
 }
-
-void BM_MatternDedicated(benchmark::State& state) {
-  point(state, GvtKind::kMattern, MpiPlacement::kDedicated);
-}
-void BM_MatternCombined(benchmark::State& state) {
-  point(state, GvtKind::kMattern, MpiPlacement::kCombined);
-}
-void BM_BarrierDedicated(benchmark::State& state) {
-  point(state, GvtKind::kBarrier, MpiPlacement::kDedicated);
-}
-void BM_BarrierCombined(benchmark::State& state) {
-  point(state, GvtKind::kBarrier, MpiPlacement::kCombined);
-}
-
-CAGVT_SERIES(BM_MatternDedicated);
-CAGVT_SERIES(BM_MatternCombined);
-CAGVT_SERIES(BM_BarrierDedicated);
-CAGVT_SERIES(BM_BarrierCombined);
 
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cagvt::bench;
+  return run_figure_main(
+      argc, argv, "fig03",
+      {{"BM_MatternDedicated",
+        [](int n) { return point(n, GvtKind::kMattern, MpiPlacement::kDedicated); }},
+       {"BM_MatternCombined",
+        [](int n) { return point(n, GvtKind::kMattern, MpiPlacement::kCombined); }},
+       {"BM_BarrierDedicated",
+        [](int n) { return point(n, GvtKind::kBarrier, MpiPlacement::kDedicated); }},
+       {"BM_BarrierCombined",
+        [](int n) { return point(n, GvtKind::kBarrier, MpiPlacement::kCombined); }}});
+}

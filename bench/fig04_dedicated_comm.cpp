@@ -10,29 +10,26 @@
 namespace cagvt::bench {
 namespace {
 
-void point(benchmark::State& state, GvtKind gvt, MpiPlacement mpi) {
-  run_phold_point(state, gvt, mpi, Workload::communication());
+SimulationResult point(int nodes, GvtKind gvt, MpiPlacement mpi) {
+  SimulationConfig cfg = figure_config(nodes);
+  cfg.gvt = gvt;
+  cfg.mpi = mpi;
+  return core::run_phold(cfg, Workload::communication());
 }
-
-void BM_MatternDedicated(benchmark::State& state) {
-  point(state, GvtKind::kMattern, MpiPlacement::kDedicated);
-}
-void BM_MatternCombined(benchmark::State& state) {
-  point(state, GvtKind::kMattern, MpiPlacement::kCombined);
-}
-void BM_BarrierDedicated(benchmark::State& state) {
-  point(state, GvtKind::kBarrier, MpiPlacement::kDedicated);
-}
-void BM_BarrierCombined(benchmark::State& state) {
-  point(state, GvtKind::kBarrier, MpiPlacement::kCombined);
-}
-
-CAGVT_SERIES(BM_MatternDedicated);
-CAGVT_SERIES(BM_MatternCombined);
-CAGVT_SERIES(BM_BarrierDedicated);
-CAGVT_SERIES(BM_BarrierCombined);
 
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cagvt::bench;
+  return run_figure_main(
+      argc, argv, "fig04",
+      {{"BM_MatternDedicated",
+        [](int n) { return point(n, GvtKind::kMattern, MpiPlacement::kDedicated); }},
+       {"BM_MatternCombined",
+        [](int n) { return point(n, GvtKind::kMattern, MpiPlacement::kCombined); }},
+       {"BM_BarrierDedicated",
+        [](int n) { return point(n, GvtKind::kBarrier, MpiPlacement::kDedicated); }},
+       {"BM_BarrierCombined",
+        [](int n) { return point(n, GvtKind::kBarrier, MpiPlacement::kCombined); }}});
+}

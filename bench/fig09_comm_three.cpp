@@ -8,24 +8,22 @@
 namespace cagvt::bench {
 namespace {
 
-void BM_Mattern(benchmark::State& state) {
-  run_phold_point(state, GvtKind::kMattern, MpiPlacement::kDedicated,
-                  Workload::communication());
+SimulationResult point(int nodes, GvtKind gvt) {
+  SimulationConfig cfg = figure_config(nodes);
+  cfg.gvt = gvt;
+  cfg.mpi = MpiPlacement::kDedicated;
+  return core::run_phold(cfg, Workload::communication());
 }
-void BM_Barrier(benchmark::State& state) {
-  run_phold_point(state, GvtKind::kBarrier, MpiPlacement::kDedicated,
-                  Workload::communication());
-}
-void BM_CaGvt(benchmark::State& state) {
-  run_phold_point(state, GvtKind::kControlledAsync, MpiPlacement::kDedicated,
-                  Workload::communication());
-}
-
-CAGVT_SERIES(BM_Mattern);
-CAGVT_SERIES(BM_Barrier);
-CAGVT_SERIES(BM_CaGvt);
 
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cagvt::bench;
+  return run_figure_main(
+      argc, argv, "fig09",
+      {{"BM_Mattern", [](int n) { return point(n, GvtKind::kMattern); }},
+       {"BM_Barrier", [](int n) { return point(n, GvtKind::kBarrier); }},
+       {"BM_CaGvt",
+        [](int n) { return point(n, GvtKind::kControlledAsync); }}});
+}

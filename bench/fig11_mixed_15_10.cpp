@@ -5,17 +5,22 @@
 namespace cagvt::bench {
 namespace {
 
-void BM_Mattern(benchmark::State& state) { run_mixed_point(state, GvtKind::kMattern, 15, 10); }
-void BM_Barrier(benchmark::State& state) { run_mixed_point(state, GvtKind::kBarrier, 15, 10); }
-void BM_CaGvt(benchmark::State& state) {
-  run_mixed_point(state, GvtKind::kControlledAsync, 15, 10);
+SimulationResult point(int nodes, GvtKind gvt) {
+  SimulationConfig cfg = figure_config(nodes);
+  cfg.end_vt = 150.0;
+  cfg.gvt = gvt;
+  return core::run_mixed(cfg, 15, 10);
 }
-
-CAGVT_SERIES(BM_Mattern);
-CAGVT_SERIES(BM_Barrier);
-CAGVT_SERIES(BM_CaGvt);
 
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cagvt::bench;
+  return run_figure_main(
+      argc, argv, "fig11",
+      {{"BM_Mattern", [](int n) { return point(n, GvtKind::kMattern); }},
+       {"BM_Barrier", [](int n) { return point(n, GvtKind::kBarrier); }},
+       {"BM_CaGvt",
+        [](int n) { return point(n, GvtKind::kControlledAsync); }}});
+}

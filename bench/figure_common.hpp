@@ -19,6 +19,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "core/experiment.hpp"
 
 namespace cagvt::bench {
@@ -42,6 +50,9 @@ inline void export_counters(benchmark::State& state, const SimulationResult& r) 
   state.counters["sim_wall_s"] = r.wall_seconds;
   state.counters["lvt_disparity"] = r.avg_lvt_disparity;
   state.counters["completed"] = r.completed ? 1 : 0;
+  state.counters["gvt_rounds_per_s"] =
+      r.wall_seconds > 0 ? static_cast<double>(r.gvt_rounds) / r.wall_seconds : 0;
+  state.counters["tree_frames"] = static_cast<double>(r.tree_frames);
 }
 
 /// One figure point: PHOLD under `workload` with the given algorithm and
@@ -68,6 +79,62 @@ inline void run_mixed_point(benchmark::State& state, GvtKind gvt, double x_pct, 
   SimulationResult result;
   for (auto _ : state) result = core::run_mixed(cfg, x_pct, y_pct);
   export_counters(state, result);
+}
+
+/// One curve on a figure: a name (the legend entry / benchmark name) and
+/// the closure that produces the point at a given node count.
+struct FigureSeries {
+  std::string name;
+  std::function<SimulationResult(int nodes)> run;
+};
+
+/// Main entry for the per-figure binaries: registers every series x node
+/// point as a one-iteration benchmark, computes the WHOLE result table on
+/// first use via core::run_parallel (every point is an independent
+/// simulation, so the sweep saturates the host's cores instead of running
+/// serially), and writes the google-benchmark JSON report to
+/// BENCH_<figure>.json through bench_json.hpp. Listing benchmarks
+/// (--benchmark_list_tests) never runs a simulation.
+inline int run_figure_main(int argc, char** argv, const char* figure,
+                           std::vector<FigureSeries> series,
+                           std::vector<int> nodes = {1, 2, 4, 8}) {
+  struct Table {
+    std::once_flag once;
+    std::vector<FigureSeries> series;
+    std::vector<int> nodes;
+    std::vector<SimulationResult> results;
+  };
+  auto table = std::make_shared<Table>();
+  table->series = std::move(series);
+  table->nodes = std::move(nodes);
+  const auto compute = [table] {
+    std::vector<std::function<SimulationResult()>> points;
+    points.reserve(table->series.size() * table->nodes.size());
+    for (const FigureSeries& s : table->series)
+      for (const int n : table->nodes)
+        points.push_back([&s, n] { return s.run(n); });
+    table->results = core::run_parallel(std::move(points));
+  };
+  for (std::size_t si = 0; si < table->series.size(); ++si) {
+    for (std::size_t ni = 0; ni < table->nodes.size(); ++ni) {
+      const std::size_t idx = si * table->nodes.size() + ni;
+      benchmark::RegisterBenchmark(
+          table->series[si].name.c_str(),
+          [table, compute, idx](benchmark::State& state) {
+            std::call_once(table->once, compute);
+            for (auto _ : state) {
+              // The simulator is deterministic and already ran in compute();
+              // the counters below are the product, not the loop timing.
+            }
+            export_counters(state, table->results[idx]);
+          })
+          ->ArgName("nodes")
+          ->Arg(table->nodes[ni])
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return run_with_json_baseline(argc, argv, figure);
 }
 
 }  // namespace cagvt::bench

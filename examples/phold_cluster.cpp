@@ -9,7 +9,10 @@
 //   --threads N        hardware threads per node incl. MPI thread (7)
 //   --lps N            LPs per worker thread (32)
 //   --end T            virtual end time (50)
-//   --gvt NAME         barrier | mattern | ca-gvt (ca-gvt)
+//   --gvt NAME         barrier | mattern | ca-gvt | epoch (ca-gvt)
+//   --tree-arity N     fan-in of the tree all-reduce used by collectives;
+//                      0 keeps flat reductions except for --gvt=epoch,
+//                      which defaults to a binary tree (0)
 //   --mpi NAME         dedicated | combined | everywhere (dedicated)
 //   --backend NAME     coro | threads (coro). 'coro' is the deterministic
 //                      coroutine substrate with simulated time; 'threads'
@@ -76,7 +79,7 @@ int main(int argc, char** argv) try {
   if (opts.get_bool("help", false) || opts.get_bool("h", false)) {
     std::printf("usage: phold_cluster [--option[=value] ...]\n\n"
                 "Cluster shape : --nodes --threads --lps --mpi --backend\n"
-                "Run control   : --end --gvt --interval --threshold --batch --seed\n"
+                "Run control   : --end --gvt --tree-arity --interval --threshold --batch --seed\n"
                 "Faults        : --fault --fault-seed --ckpt-every\n"
                 "Load balance  : --lb off|roughness[,trigger=X,budget=N,cooldown=N,\n"
                 "                   ewma=X,min-lps=N]\n"
@@ -103,6 +106,7 @@ int main(int argc, char** argv) try {
   cfg.gvt_interval = static_cast<int>(opts.get_int("interval", 12));
   cfg.ca_efficiency_threshold = opts.get_double("threshold", 0.8);
   cfg.ca_queue_threshold = static_cast<int>(opts.get_int("ca-queue", cfg.ca_queue_threshold));
+  cfg.gvt_tree_arity = static_cast<int>(opts.get_int("tree-arity", cfg.gvt_tree_arity));
   cfg.batch = static_cast<int>(opts.get_int("batch", 4));
   cfg.combined_mpi_poll_period =
       static_cast<int>(opts.get_int("mpi-poll-period", cfg.combined_mpi_poll_period));

@@ -1,5 +1,5 @@
 // Quickstart: simulate a PHOLD workload on a virtual 4-node cluster and
-// compare the three GVT algorithms in ~40 lines of user code.
+// compare the four GVT algorithms in ~40 lines of user code.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -34,7 +34,8 @@ int main() {
   std::printf("%-10s %14s %12s %12s %10s\n", "gvt", "events/s", "efficiency",
               "rollbacks", "rounds");
   for (const core::GvtKind kind :
-       {core::GvtKind::kBarrier, core::GvtKind::kMattern, core::GvtKind::kControlledAsync}) {
+       {core::GvtKind::kBarrier, core::GvtKind::kMattern, core::GvtKind::kControlledAsync,
+        core::GvtKind::kEpoch}) {
     cfg.gvt = kind;
     const pdes::LpMap map = core::Simulation::make_map(cfg);
     const models::PholdModel model(map, phold);

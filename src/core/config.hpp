@@ -24,6 +24,8 @@ enum class GvtKind {
   kBarrier,           // synchronous, Algorithm 1
   kMattern,           // asynchronous, Algorithm 2
   kControlledAsync,   // CA-GVT, Algorithm 3 (the paper's contribution)
+  kEpoch,             // continuously-pipelined epoch GVT over a tree
+                      // reduction (devastator-style; DESIGN §13)
 };
 
 /// Where MPI work runs (paper Section 4, first contribution).
@@ -70,6 +72,12 @@ struct SimulationConfig {
   /// CA-GVT's second trigger (paper Section 8): synchronize when the peak
   /// MPI queue occupancy since the last round exceeds this many messages.
   int ca_queue_threshold = 16;
+  /// Fan-out of the vmpi tree reduction (net/tree_reduce.hpp). 0 keeps the
+  /// flat rendezvous collectives (status quo for barrier/mattern/ca-gvt);
+  /// >= 2 routes node-level collectives over the reduce-up/broadcast-down
+  /// tree. --gvt=epoch always runs on the tree: when the arity is left at
+  /// 0 it defaults to 2.
+  int gvt_tree_arity = 0;
 
   std::uint64_t seed = 1;
   /// Max events a worker processes per loop iteration.
@@ -127,6 +135,8 @@ struct SimulationConfig {
     if (!(end_vt > 0)) throw std::invalid_argument("end_vt must be > 0");
     if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
+    if (gvt_tree_arity != 0 && gvt_tree_arity < 2)
+      throw std::invalid_argument("gvt_tree_arity must be 0 (flat collectives) or >= 2");
     if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
     lb.validate();
     sync.validate();
@@ -134,6 +144,13 @@ struct SimulationConfig {
     if (flow.enabled() && sync.enabled())
       throw std::invalid_argument("--flow=bounded cannot be combined with --sync (conservative "
                                   "execution never over-commits: there is no optimism to bound)");
+    if (gvt == GvtKind::kEpoch && sync.kind == cons::SyncKind::kWindow)
+      throw std::invalid_argument(
+          "--gvt=epoch cannot be combined with --sync=window: the bounded "
+          "window drives every advance through set_always_sync (a fully "
+          "drained, synchronous GVT reduction), while the epoch GVT keeps a "
+          "round permanently in flight — there is no synchronous round to "
+          "piggyback the window barrier on (use barrier, mattern, or ca-gvt)");
     if (sync.enabled()) {
       // Conservative execution never rolls back, so the Time Warp recovery
       // and migration machinery has nothing to hook into: checkpoints,
@@ -180,6 +197,7 @@ inline std::string_view to_string(GvtKind kind) {
     case GvtKind::kBarrier: return "barrier";
     case GvtKind::kMattern: return "mattern";
     case GvtKind::kControlledAsync: return "ca-gvt";
+    case GvtKind::kEpoch: return "epoch";
   }
   return "?";
 }
@@ -197,8 +215,9 @@ inline GvtKind gvt_kind_from(std::string_view name) {
   if (name == "barrier") return GvtKind::kBarrier;
   if (name == "mattern") return GvtKind::kMattern;
   if (name == "ca-gvt" || name == "ca" || name == "cagvt") return GvtKind::kControlledAsync;
+  if (name == "epoch") return GvtKind::kEpoch;
   throw std::invalid_argument("unknown GVT algorithm: '" + std::string(name) +
-                              "' (expected barrier, mattern, or ca-gvt)");
+                              "' (expected barrier, mattern, ca-gvt, or epoch)");
 }
 
 inline MpiPlacement mpi_placement_from(std::string_view name) {

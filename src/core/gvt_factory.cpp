@@ -1,5 +1,6 @@
 #include "core/barrier_gvt.hpp"
 #include "core/ca_gvt.hpp"
+#include "core/epoch_gvt.hpp"
 #include "core/gvt.hpp"
 #include "core/mattern_gvt.hpp"
 
@@ -10,6 +11,7 @@ std::unique_ptr<GvtAlgorithm> make_gvt(GvtKind kind, NodeRuntime& node) {
     case GvtKind::kBarrier: return std::make_unique<BarrierGvt>(node);
     case GvtKind::kMattern: return std::make_unique<MatternGvt>(node);
     case GvtKind::kControlledAsync: return std::make_unique<CaGvt>(node);
+    case GvtKind::kEpoch: return std::make_unique<EpochGvt>(node);
   }
   CAGVT_CHECK_MSG(false, "unknown GVT kind");
   return nullptr;

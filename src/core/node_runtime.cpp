@@ -18,7 +18,13 @@ Process NodeCollectives::sum(std::int64_t value) {
 
 Process NodeCollectives::sum_agent(std::int64_t value) {
   const std::int64_t node_partial = co_await reduce_sum_.arrive(value);
-  last_sum_ = co_await fabric_.allreduce_sum(node_partial);
+  if (fabric_.tree_enabled()) {
+    net::TreeVal v;
+    v.sum[0] = node_partial;
+    last_sum_ = (co_await fabric_.tree_allreduce(rank_, v)).sum[0];
+  } else {
+    last_sum_ = co_await fabric_.allreduce_sum(node_partial);
+  }
   co_await exit_barrier_.arrive();
 }
 
@@ -29,7 +35,13 @@ Process NodeCollectives::min(double value) {
 
 Process NodeCollectives::min_agent(double value) {
   const double node_partial = co_await reduce_min_.arrive(value);
-  last_min_ = co_await fabric_.allreduce_min(node_partial);
+  if (fabric_.tree_enabled()) {
+    net::TreeVal v;
+    v.min_a = node_partial;
+    last_min_ = (co_await fabric_.tree_allreduce(rank_, v)).min_a;
+  } else {
+    last_min_ = co_await fabric_.allreduce_min(node_partial);
+  }
   co_await exit_barrier_.arrive();
 }
 
@@ -40,7 +52,13 @@ Process NodeCollectives::barrier() {
 
 Process NodeCollectives::barrier_agent() {
   co_await entry_barrier_.arrive();
-  co_await fabric_.barrier();
+  if (fabric_.tree_enabled()) {
+    // An empty tree wave is a barrier: the broadcast-down cannot reach any
+    // rank before every rank has contributed.
+    (void)co_await fabric_.tree_allreduce(rank_, net::TreeVal{});
+  } else {
+    co_await fabric_.barrier();
+  }
   co_await exit_barrier_.arrive();
 }
 

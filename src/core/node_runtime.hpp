@@ -54,6 +54,9 @@ struct GvtThreadState {
   double min_red = pdes::kVtInfinity;  // min recv_ts of red messages sent
   bool contributed = false;            // this round's Collect done
   bool adopted = false;                // this round's Broadcast done
+  /// Epoch GVT: the pipelined epoch this worker has joined (its sends are
+  /// tagged epoch % 3 — see core/epoch_gvt.hpp).
+  std::uint64_t epoch = 0;
   // Snapshot of the decided-event counters at the previous contribution,
   // for the windowed efficiency estimate CA-GVT adapts on.
   std::uint64_t last_committed = 0;

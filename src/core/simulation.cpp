@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cons/controller.hpp"
+#include "core/epoch_gvt.hpp"
 #include "core/mattern_gvt.hpp"
 #include "core/node_runtime.hpp"
 #include "fault/fault_engine.hpp"
@@ -26,6 +27,12 @@ SimulationResult Simulation::run(double max_wall_seconds) {
 
   metasim::Engine engine;
   Fabric fabric(engine, cfg_.cluster, cfg_.nodes);
+  // The tree reduction must exist before any traffic: the epoch GVT always
+  // runs on it (defaulting to a binary tree), and any other algorithm opts
+  // in through --tree-arity to route the flat rendezvous collectives over
+  // the same reduce-up/broadcast-down structure.
+  if (cfg_.gvt_tree_arity > 0 || cfg_.gvt == GvtKind::kEpoch)
+    fabric.enable_tree(cfg_.gvt_tree_arity > 0 ? cfg_.gvt_tree_arity : 2);
   ClusterProfiler profiler;
 
   // Observability is measurement-only: the recorder stamps records with the
@@ -151,8 +158,11 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   result.avg_lvt_disparity = profiler.avg_lvt_disparity();
   if (const auto* mattern = dynamic_cast<const MatternGvt*>(&gvt0))
     result.last_global_efficiency = mattern->last_global_efficiency();
+  if (const auto* epoch = dynamic_cast<const EpochGvt*>(&gvt0))
+    result.last_global_efficiency = epoch->last_global_efficiency();
   result.gvt_trace = profiler.gvt_trace();
   result.net_frames = fabric.network().frames_sent();
+  result.tree_frames = fabric.tree_frames();
   result.retransmits = fabric.retransmits();
   result.acks_sent = fabric.acks_sent();
   result.duplicates_dropped = fabric.duplicates_dropped();

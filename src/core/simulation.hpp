@@ -51,6 +51,9 @@ struct SimulationResult {
   std::uint64_t regional_msgs = 0;
   std::uint64_t remote_msgs = 0;
   std::uint64_t net_frames = 0;
+  /// Frames carried by the tree all-reduce (0 unless a tree collective ran:
+  /// --tree-arity > 0 or --gvt=epoch).
+  std::uint64_t tree_frames = 0;
 
   // --- reliable transport / recovery (all 0 on healthy runs) -------------
   std::uint64_t retransmits = 0;         // frames re-sent on timeout

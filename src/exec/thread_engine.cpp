@@ -150,6 +150,14 @@ void ThreadEngine::maybe_announce(Worker& self, int w) {
       if (self.iters_since_round >= effective) fence_->announce(/*control=*/degraded);
       break;
     }
+    case GvtKind::kEpoch:
+      // The real-thread fence quiesces every worker per round, which
+      // collapses the coroutine backend's always-in-flight pipeline into
+      // a Mattern-shaped cadence: one initiator, interval-clocked. The
+      // epoch protocol itself (tags, tree waves) lives in the simulated
+      // backend; here only the announce discipline differs per kind.
+      if (w == 0 && self.iters_since_round >= interval) fence_->announce();
+      break;
   }
 }
 

@@ -27,6 +27,8 @@
 #include <map>
 #include <vector>
 
+#include "net/tree_reduce.hpp"
+
 namespace cagvt::net {
 
 /// Which logical stream of a directed link a frame belongs to.
@@ -41,9 +43,13 @@ inline const char* to_string(StreamClass cls) {
 
 /// The wire unit: a payload plus transport metadata. Acks carry no payload;
 /// their `seq` is cumulative (the receiver's next expected sequence).
+/// kTree frames are hop-by-hop collective traffic (net/tree_reduce.hpp):
+/// they carry a TreeVal instead of a payload, ride the control plane, and —
+/// like the flat collectives — are modelled as reliable, exempt from loss
+/// and crash windows (see the Fabric's tree-frame interception).
 template <typename Payload>
 struct Frame {
-  enum class Kind : std::uint8_t { kMsg, kAck };
+  enum class Kind : std::uint8_t { kMsg, kAck, kTree };
 
   Kind kind = Kind::kMsg;
   StreamClass cls = StreamClass::kData;
@@ -53,6 +59,10 @@ struct Frame {
   /// Data-plane incarnation; bumped by checkpoint restores.
   std::uint32_t epoch = 0;
   std::uint64_t seq = 0;
+  /// kTree only: reduce-up vs broadcast-down, wave number, partial/total.
+  bool tree_up = false;
+  std::uint64_t tree_wave = 0;
+  TreeVal tree_val{};
   Payload payload{};
 };
 

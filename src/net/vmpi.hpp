@@ -39,6 +39,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -48,7 +49,9 @@
 #include "metasim/sync.hpp"
 #include "net/network.hpp"
 #include "net/reliable.hpp"
+#include "net/tree_reduce.hpp"
 #include "obs/trace.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace cagvt::net {
@@ -106,6 +109,60 @@ class Fabric {
     rto_counters_.assign(links, 0);
   }
   bool reliable() const { return reliable_; }
+
+  /// Switch collective traffic onto an explicit reduce-up/broadcast-down
+  /// rank tree (net/tree_reduce.hpp) instead of the flat rendezvous
+  /// barriers. Hop-by-hop frames replace the single global release: each
+  /// partial pays real wire latency per level, but no rank ever waits on a
+  /// cluster-wide rendezvous object, and reductions pipeline — wave k+1 can
+  /// climb the tree while wave k's broadcast is still descending. Idempotent
+  /// for a given arity; call before any collective traffic.
+  void enable_tree(int arity) {
+    if (tree_enabled_) {
+      CAGVT_CHECK_MSG(arity == tree_topo_.arity,
+                      "fabric tree already enabled with a different arity");
+      return;
+    }
+    CAGVT_CHECK_MSG(arity >= 2, "tree reduction needs arity >= 2");
+    tree_enabled_ = true;
+    tree_topo_ = TreeTopology{nranks_, arity};
+    tree_reducers_.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) tree_reducers_.emplace_back(tree_topo_, r);
+    tree_waves_.assign(static_cast<std::size_t>(nranks_), 0);
+    tree_waiters_.resize(static_cast<std::size_t>(nranks_));
+  }
+  bool tree_enabled() const { return tree_enabled_; }
+  const TreeTopology& tree_topology() const { return tree_topo_; }
+  /// Tree frames put on the wire (reduce-up partials + broadcast-down
+  /// totals) — the property tests assert the tree actually carried traffic.
+  std::uint64_t tree_frames() const { return tree_frames_; }
+
+  /// One rank's entry into a tree all-reduce. Every rank must issue the
+  /// same global sequence of tree collectives; calls pair up positionally
+  /// by wave number (the reducer buffers skewed arrivals). Resumes with the
+  /// full reduction once the broadcast-down reaches this rank.
+  struct [[nodiscard]] TreeAwaiter {
+    Fabric* fabric;
+    int rank;
+    TreeVal value;
+    std::uint64_t wave = 0;
+    TreeVal result{};
+    metasim::Process::Handle handle{};
+    metasim::SimTime arrived_at = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(metasim::Process::Handle h) {
+      handle = h;
+      arrived_at = fabric->engine_.now();
+      fabric->tree_begin(this);
+    }
+    TreeVal await_resume() const noexcept { return result; }
+  };
+
+  TreeAwaiter tree_allreduce(int rank, TreeVal value) {
+    CAGVT_CHECK_MSG(tree_enabled_, "tree collective before enable_tree()");
+    return TreeAwaiter{this, rank, std::move(value)};
+  }
 
   /// Non-blocking send: charges the sender's per-message CPU cost, then
   /// puts the message on the wire. co_await from the sending MPI thread.
@@ -188,7 +245,7 @@ class Fabric {
   /// synchronous-GVT wait the paper reports as "time in the GVT function").
   metasim::SimTime collective_block_time() const {
     return barrier_.total_block_time() + sum_barrier_.total_block_time() +
-           min_barrier_.total_block_time();
+           min_barrier_.total_block_time() + tree_block_time_;
   }
 
   std::uint64_t retransmits() const { return retransmits_; }
@@ -260,7 +317,71 @@ class Fabric {
     network_.transmit(src, dst, bytes, std::move(frame));
   }
 
+  /// Schedule `rank`'s contribution into the tree and park the awaiter until
+  /// the wave's broadcast-down lands here. The contributor pays the
+  /// control-plane send CPU before the partial enters the tree; interior
+  /// combining at relay ranks is charged to the wire only (per-hop latency)
+  /// — the modelling choice DESIGN §13 documents.
+  void tree_begin(TreeAwaiter* awaiter) {
+    const int rank = awaiter->rank;
+    const std::uint64_t wave = tree_waves_[static_cast<std::size_t>(rank)]++;
+    awaiter->wave = wave;
+    const bool inserted =
+        tree_waiters_[static_cast<std::size_t>(rank)].emplace(wave, awaiter).second;
+    CAGVT_CHECK(inserted);
+    const TreeVal value = awaiter->value;
+    // A live (non-daemon) event: the contribution is real protocol work —
+    // every other coroutine may be parked in a barrier waiting for this
+    // wave, and a daemon event would let the engine declare the run over.
+    engine_.call_at(engine_.now() + cpu_cost(rank, spec_.control_send_cpu),
+                    [this, rank, wave, value] {
+                      tree_emit(tree_reducer(rank).contribute(wave, value));
+                      tree_maybe_resume(rank, wave);
+                    });
+  }
+
+  TreeReducer& tree_reducer(int rank) {
+    return tree_reducers_[static_cast<std::size_t>(rank)];
+  }
+
+  void tree_emit(std::vector<TreeMsg> msgs) {
+    for (TreeMsg& m : msgs) {
+      ++tree_frames_;
+      WireFrame frame;
+      frame.kind = FrameKind::kTree;
+      frame.cls = StreamClass::kControl;
+      frame.tree_up = m.up;
+      frame.tree_wave = m.wave;
+      frame.tree_val = m.val;
+      network_.transmit(m.from, m.to, spec_.control_msg_bytes, std::move(frame));
+    }
+  }
+
+  void tree_maybe_resume(int rank, std::uint64_t wave) {
+    TreeReducer& reducer = tree_reducer(rank);
+    if (!reducer.has_result(wave)) return;
+    auto& waiters = tree_waiters_[static_cast<std::size_t>(rank)];
+    const auto it = waiters.find(wave);
+    CAGVT_CHECK_MSG(it != waiters.end(), "tree wave completed with no local caller");
+    TreeAwaiter* awaiter = it->second;
+    waiters.erase(it);
+    awaiter->result = reducer.take_result(wave);
+    tree_block_time_ += engine_.now() - awaiter->arrived_at;
+    engine_.resume_at(engine_.now(), awaiter->handle);
+  }
+
   void on_wire_deliver(int src, int dst, WireFrame frame) {
+    // Tree collective hops are dispatched before any fault handling:
+    // collectives are modelled as reliable (exactly like the flat barriers
+    // above — loss applies to point-to-point traffic only), and a crashed
+    // rank's fabric still relays partials so a reduction in flight across
+    // its subtree can never wedge the live ranks.
+    if (frame.kind == FrameKind::kTree) {
+      tree_emit(tree_reducer(dst).deliver(
+          TreeMsg{src, dst, frame.tree_up, frame.tree_wave, frame.tree_val}));
+      tree_maybe_resume(dst, frame.tree_wave);
+      return;
+    }
     // A crash that opened while the frame was in flight eats it; the
     // sender's unacked copy is replayed after the restart.
     if (faults_ != nullptr && (faults_->node_down(src) || faults_->node_down(dst))) {
@@ -424,6 +545,16 @@ class Fabric {
   metasim::Barrier barrier_;
   metasim::ReduceBarrier<std::int64_t> sum_barrier_;
   metasim::ReduceBarrier<double> min_barrier_;
+
+  bool tree_enabled_ = false;
+  TreeTopology tree_topo_{};
+  std::vector<TreeReducer> tree_reducers_;
+  /// Per-rank monotone collective-call counter: wave k here reduces with
+  /// wave k everywhere (all ranks issue the identical call sequence).
+  std::vector<std::uint64_t> tree_waves_;
+  std::vector<std::map<std::uint64_t, TreeAwaiter*>> tree_waiters_;
+  metasim::SimTime tree_block_time_ = 0;
+  std::uint64_t tree_frames_ = 0;
 
   bool reliable_ = false;
   std::uint64_t seed_ = 0;

@@ -48,6 +48,10 @@ struct Event {
   bool anti = false;          // true: anti-message (cancels the positive twin)
   Color color = Color::kWhite;  // stamped by the GVT layer at send time
   MsgKind kind = MsgKind::kEvent;  // control messages never reach a kernel
+  /// Epoch-GVT accounting bucket (sender's epoch mod 3), the epoch
+  /// algorithm's analogue of `color`. Transport metadata only — never part
+  /// of commit fingerprints or state hashes.
+  std::uint8_t gvt_tag = 0;
 
   /// The matching anti-message for this (positive) event.
   Event make_anti() const {

@@ -38,7 +38,8 @@ TEST_P(ModelSweep, AlgorithmsAgreeAndRunsAreReproducible) {
   std::uint64_t reference_fingerprint = 0;
   std::uint64_t reference_committed = 0;
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     SimulationConfig run_cfg = cfg;
     run_cfg.gvt = kind;
     Simulation sim(run_cfg, *model);

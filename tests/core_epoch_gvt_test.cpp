@@ -1,0 +1,250 @@
+// Epoch-pipelined GVT protocol tests: the three-bucket transient ledger in
+// isolation, and the protocol-level guarantees on the full virtual cluster
+// (epochs never regress GVT, cumulative counters balance globally, CA-style
+// synchrony triggers compose, and a stalled rank cannot let an epoch end
+// with its transients unaccounted).
+#include "core/epoch_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "fault/fault_parse.hpp"
+#include "models/phold.hpp"
+#include "pdes/seqref.hpp"
+
+namespace cagvt::core {
+namespace {
+
+constexpr double kInf = pdes::kVtInfinity;
+
+TEST(EpochLedgerTest, BucketArithmetic) {
+  // Three buckets cover the live epochs {e-1, e, e+1}; the closing bucket
+  // of epoch e is (e-1) mod 3 == (e+2) mod 3.
+  EXPECT_EQ(EpochLedger::bucket_of(1), 1);
+  EXPECT_EQ(EpochLedger::bucket_of(2), 2);
+  EXPECT_EQ(EpochLedger::bucket_of(3), 0);
+  for (std::uint64_t e = 1; e < 50; ++e) {
+    EXPECT_EQ(EpochLedger::closing_bucket(e), EpochLedger::bucket_of(e + 2));
+    EXPECT_EQ(EpochLedger::closing_bucket(e + 1), EpochLedger::bucket_of(e));
+    // The recycled bucket (the new epoch's own) is never the one a
+    // concurrent reduction is draining.
+    EXPECT_NE(EpochLedger::bucket_of(e), EpochLedger::closing_bucket(e));
+  }
+}
+
+TEST(EpochLedgerTest, BalanceAndMinimumPerBucket) {
+  EpochLedger ledger;
+  EXPECT_EQ(ledger.balance(0), 0);
+  EXPECT_EQ(ledger.min_send(0), kInf);
+
+  ledger.record_send(0, 5.0, /*in_minimum=*/true);
+  ledger.record_send(0, 3.0, /*in_minimum=*/true);
+  ledger.record_send(1, 1.0, /*in_minimum=*/true);
+  EXPECT_EQ(ledger.balance(0), 2);
+  EXPECT_EQ(ledger.balance(1), 1);
+  EXPECT_EQ(ledger.min_send(0), 3.0);
+  EXPECT_EQ(ledger.min_send(1), 1.0);
+  EXPECT_EQ(ledger.min_send(2), kInf);
+
+  ledger.record_recv(0);
+  ledger.record_recv(0);
+  ledger.record_recv(0);  // more receives than sends: balance goes negative
+  EXPECT_EQ(ledger.balance(0), -1);
+  EXPECT_EQ(ledger.min_send(0), 3.0);  // receives never move the minimum
+}
+
+TEST(EpochLedgerTest, ControlMessagesCountForDrainButNotMinimum) {
+  // kNull / kNullRequest traffic must be drained (in_minimum=false still
+  // increments the balance) but cannot bound the GVT — Mattern's min_red
+  // rule carried over.
+  EpochLedger ledger;
+  ledger.record_send(2, 0.5, /*in_minimum=*/false);
+  EXPECT_EQ(ledger.balance(2), 1);
+  EXPECT_EQ(ledger.min_send(2), kInf);
+  ledger.record_send(2, 9.0, /*in_minimum=*/true);
+  EXPECT_EQ(ledger.min_send(2), 9.0);
+}
+
+TEST(EpochLedgerTest, RecycleResetsMinimumButKeepsBalance) {
+  // Balances are cumulative for the ledger's lifetime (a transient sent in
+  // epoch e can drain epochs later); only the minimum is per-cycle state.
+  EpochLedger ledger;
+  ledger.record_send(1, 4.0, true);
+  ledger.record_recv(2);
+  ledger.recycle(1);
+  EXPECT_EQ(ledger.min_send(1), kInf);
+  EXPECT_EQ(ledger.balance(1), 1);
+  EXPECT_EQ(ledger.balance(2), -1);
+}
+
+TEST(EpochLedgerTest, ClearZeroesEverything) {
+  EpochLedger ledger;
+  ledger.record_send(0, 1.0, true);
+  ledger.record_recv(1);
+  ledger.clear();
+  for (int b = 0; b < EpochLedger::kBuckets; ++b) {
+    EXPECT_EQ(ledger.balance(b), 0);
+    EXPECT_EQ(ledger.min_send(b), kInf);
+  }
+}
+
+TEST(EpochLedgerTest, CrossNodeBalancesSumToZeroOnceDrained) {
+  // The global invariant the reduction's end condition rests on: after
+  // every in-flight message is delivered, the per-bucket balances summed
+  // over all nodes are zero — regardless of which epochs the senders and
+  // receivers were in.
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nodes = std::uniform_int_distribution<int>(2, 12)(rng);
+    std::vector<EpochLedger> ledgers(static_cast<std::size_t>(nodes));
+    struct Flight { int dst; int bucket; };
+    std::vector<Flight> in_flight;
+    for (int step = 0; step < 500; ++step) {
+      const bool send = in_flight.empty() ||
+                        std::uniform_int_distribution<int>(0, 1)(rng) == 0;
+      if (send) {
+        const int src = std::uniform_int_distribution<int>(0, nodes - 1)(rng);
+        const int dst = std::uniform_int_distribution<int>(0, nodes - 1)(rng);
+        const int bucket = std::uniform_int_distribution<int>(0, 2)(rng);
+        ledgers[static_cast<std::size_t>(src)].record_send(bucket, 1.0, true);
+        in_flight.push_back({dst, bucket});
+      } else {
+        const std::size_t i = std::uniform_int_distribution<std::size_t>(
+            0, in_flight.size() - 1)(rng);
+        ledgers[static_cast<std::size_t>(in_flight[i].dst)].record_recv(
+            in_flight[i].bucket);
+        in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    // Partial drain: with messages still in flight at least one bucket sum
+    // is positive; after the drain all three are exactly zero.
+    for (const Flight& f : in_flight) {
+      ledgers[static_cast<std::size_t>(f.dst)].record_recv(f.bucket);
+    }
+    for (int b = 0; b < EpochLedger::kBuckets; ++b) {
+      std::int64_t total = 0;
+      for (const EpochLedger& l : ledgers) total += l.balance(b);
+      EXPECT_EQ(total, 0) << "bucket " << b << " trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol properties on the full virtual cluster.
+
+SimulationResult run_epoch(double threshold, int queue,
+                           const std::string& faults = "") {
+  SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 30.0;
+  cfg.gvt = GvtKind::kEpoch;
+  cfg.ca_efficiency_threshold = threshold;
+  cfg.ca_queue_threshold = queue;
+  cfg.seed = 99;
+  if (!faults.empty()) cfg.faults = fault::parse_fault_schedule(faults);
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  models::PholdParams params;
+  params.remote_pct = 0.15;
+  params.regional_pct = 0.40;
+  params.epg_units = 1500;
+  const models::PholdModel model(map, params);
+  Simulation sim(cfg, model);
+  return sim.run(240.0);
+}
+
+TEST(EpochGvtProtocolTest, EpochsPipelineAndGvtNeverRegresses) {
+  const SimulationResult r = run_epoch(0.8, 16);
+  ASSERT_TRUE(r.completed);
+  // Epochs chain with no interval clock between them, so a run that takes
+  // dozens of Mattern rounds produces at least as many epochs.
+  EXPECT_GT(r.gvt_rounds, 5u);
+  ASSERT_GE(r.gvt_trace.size(), 2u);
+  for (std::size_t i = 1; i < r.gvt_trace.size(); ++i)
+    EXPECT_GE(r.gvt_trace[i], r.gvt_trace[i - 1]) << "epoch " << i;
+  EXPECT_GT(r.final_gvt, 30.0);
+}
+
+TEST(EpochGvtProtocolTest, MatchesSequentialReference) {
+  SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 30.0;
+  cfg.gvt = GvtKind::kEpoch;
+  cfg.seed = 99;
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  models::PholdParams params;
+  params.remote_pct = 0.15;
+  params.regional_pct = 0.40;
+  params.epg_units = 1500;
+  const models::PholdModel model(map, params);
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  Simulation sim(cfg, model);
+  const SimulationResult r = sim.run(240.0);
+  EXPECT_EQ(r.events.committed, ref.committed());
+  EXPECT_EQ(r.committed_fingerprint, ref.fingerprint());
+}
+
+TEST(EpochGvtProtocolTest, ImpossibleTriggersKeepEveryEpochAsynchronous) {
+  const SimulationResult r = run_epoch(/*threshold=*/0.0, /*queue=*/1 << 30);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.sync_rounds, 0u);
+}
+
+TEST(EpochGvtProtocolTest, MaximalThresholdForcesSynchronousEpochs) {
+  const SimulationResult r = run_epoch(/*threshold=*/1.0, /*queue=*/16);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sync_rounds, 0u);
+  // Synchronous epochs hold workers at the join barrier: blocked time must
+  // show up in the accounting.
+  EXPECT_GT(r.gvt_block_seconds, 0.0);
+}
+
+TEST(EpochGvtProtocolTest, StalledRankCannotEndAnEpochEarly) {
+  // One node runs 6x slow for a window, then its MPI agent (the rank's only
+  // wave driver) is repeatedly paused. If an epoch could conclude without
+  // the stalled rank's transients, the closing-bucket CHECK would abort or
+  // the committed set would diverge from the unfaulted run; instead both
+  // runs must commit the identical event set (perturbations change timing,
+  // never results).
+  const SimulationResult stalled = run_epoch(
+      0.8, 16,
+      "straggler:node=3,t=1ms..4ms,slow=6x;"
+      "mpistall:node=3,t=1ms..,stall=150us,period=800us");
+  const SimulationResult clean = run_epoch(0.8, 16);
+  ASSERT_TRUE(stalled.completed);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_GT(stalled.fault_activations, 0u);
+  EXPECT_EQ(stalled.events.committed, clean.events.committed);
+  EXPECT_EQ(stalled.committed_fingerprint, clean.committed_fingerprint);
+  EXPECT_EQ(stalled.state_hash, clean.state_hash);
+  for (std::size_t i = 1; i < stalled.gvt_trace.size(); ++i)
+    EXPECT_GE(stalled.gvt_trace[i], stalled.gvt_trace[i - 1]);
+}
+
+TEST(EpochGvtProtocolTest, SingleNodeSingleWorkerDegenerateCluster) {
+  SimulationConfig cfg;
+  cfg.nodes = 1;
+  cfg.threads_per_node = 1;
+  cfg.mpi = MpiPlacement::kCombined;  // the lone thread is worker AND agent
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 20.0;
+  cfg.gvt = GvtKind::kEpoch;
+  cfg.seed = 5;
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const models::PholdModel model(map, models::PholdParams{});
+  Simulation sim(cfg, model);
+  const SimulationResult r = sim.run(120.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.gvt_rounds, 0u);
+  EXPECT_GT(r.final_gvt, 20.0);
+}
+
+}  // namespace
+}  // namespace cagvt::core

@@ -98,7 +98,8 @@ TEST(GvtAlgorithmTest, AllAlgorithmsCommitIdenticalEventSets) {
   ref.run();
 
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     const SimulationResult r = run_with(kind);
     EXPECT_EQ(r.events.committed, ref.committed()) << to_string(kind);
     EXPECT_EQ(r.committed_fingerprint, ref.fingerprint()) << to_string(kind);
@@ -107,7 +108,8 @@ TEST(GvtAlgorithmTest, AllAlgorithmsCommitIdenticalEventSets) {
 
 TEST(GvtAlgorithmTest, GvtTraceMonotoneForEveryAlgorithm) {
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     const SimulationResult r = run_with(kind);
     ASSERT_GE(r.gvt_trace.size(), 2u) << to_string(kind);
     for (std::size_t i = 1; i < r.gvt_trace.size(); ++i)
@@ -117,7 +119,8 @@ TEST(GvtAlgorithmTest, GvtTraceMonotoneForEveryAlgorithm) {
 
 TEST(GvtAlgorithmTest, FinalGvtPassesEndTime) {
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     const SimulationResult r = run_with(kind);
     EXPECT_GT(r.final_gvt, gvt_test_config().end_vt) << to_string(kind);
   }
@@ -125,7 +128,8 @@ TEST(GvtAlgorithmTest, FinalGvtPassesEndTime) {
 
 TEST(GvtAlgorithmTest, SingleNodeClusterWorksForAllAlgorithms) {
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     SimulationConfig cfg = gvt_test_config();
     cfg.nodes = 1;
     cfg.gvt = kind;

@@ -139,7 +139,12 @@ INSTANTIATE_TEST_SUITE_P(
         ClusterCase{GvtKind::kControlledAsync, MpiPlacement::kDedicated, 1, 3, 0.0, 0.4, 11},
         ClusterCase{GvtKind::kMattern, MpiPlacement::kDedicated, 4, 2, 0.3, 0.2, 12},
         ClusterCase{GvtKind::kBarrier, MpiPlacement::kDedicated, 4, 2, 0.3, 0.2, 13},
-        ClusterCase{GvtKind::kControlledAsync, MpiPlacement::kDedicated, 4, 2, 0.3, 0.2, 14}),
+        ClusterCase{GvtKind::kControlledAsync, MpiPlacement::kDedicated, 4, 2, 0.3, 0.2, 14},
+        ClusterCase{GvtKind::kEpoch, MpiPlacement::kDedicated, 2, 3, 0.1, 0.3, 15},
+        ClusterCase{GvtKind::kEpoch, MpiPlacement::kCombined, 2, 2, 0.1, 0.3, 16},
+        ClusterCase{GvtKind::kEpoch, MpiPlacement::kEverywhere, 2, 2, 0.1, 0.3, 17},
+        ClusterCase{GvtKind::kEpoch, MpiPlacement::kDedicated, 1, 3, 0.0, 0.4, 18},
+        ClusterCase{GvtKind::kEpoch, MpiPlacement::kDedicated, 4, 2, 0.3, 0.2, 19}),
     [](const ::testing::TestParamInfo<ClusterCase>& info) {
       const auto& c = info.param;
       return std::string(to_string(c.gvt) == std::string_view("ca-gvt") ? "ca" : to_string(c.gvt)) +

@@ -80,7 +80,8 @@ TEST_P(GoldenMatrix, ThreadBackendMatchesCoroOracleAndSeqref) {
   ASSERT_GT(want.committed, 0u);
 
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     SimulationConfig run_cfg = cfg;
     run_cfg.gvt = kind;
     const std::string tag =
@@ -112,7 +113,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(DifferentialTest, MpiPlacementsAgree) {
   // kCombined and kEverywhere change the messaging topology (no dedicated
   // agent thread -> one more worker per node -> a different LP map), so each
-  // placement is diffed against its own sequential reference.
+  // placement is diffed against its own sequential reference. The epoch GVT
+  // drives its reduction from whatever thread plays MPI agent, so every
+  // placement runs under it as well as under the default algorithm.
   for (const core::MpiPlacement mpi :
        {core::MpiPlacement::kDedicated, core::MpiPlacement::kCombined,
         core::MpiPlacement::kEverywhere}) {
@@ -122,12 +125,17 @@ TEST(DifferentialTest, MpiPlacementsAgree) {
     const auto model = models::make_model(
         "phold", Options::parse_kv("remote=0.2,regional=0.3,epg=500"), map, cfg.end_vt);
     const Oracle want = reference_for(cfg, *model);
-    const std::string tag = std::string(to_string(mpi));
 
-    expect_matches(run_simulation(cfg, *model, BackendKind::kCoro, 120.0), want,
-                   tag + "/coro");
-    expect_matches(run_simulation(cfg, *model, BackendKind::kThreads, 120.0), want,
-                   tag + "/threads");
+    for (const GvtKind kind : {cfg.gvt, GvtKind::kEpoch}) {
+      SimulationConfig run_cfg = cfg;
+      run_cfg.gvt = kind;
+      const std::string tag =
+          std::string(to_string(mpi)) + "/" + std::string(to_string(kind));
+      expect_matches(run_simulation(run_cfg, *model, BackendKind::kCoro, 120.0), want,
+                     tag + "/coro");
+      expect_matches(run_simulation(run_cfg, *model, BackendKind::kThreads, 120.0), want,
+                     tag + "/threads");
+    }
   }
 }
 

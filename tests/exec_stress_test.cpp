@@ -31,7 +31,7 @@ TEST(ThreadStressTest, LargerClusterMatchesSequentialReference) {
   // crossed with every MPI placement.
   for (const core::GvtKind kind :
        {core::GvtKind::kBarrier, core::GvtKind::kMattern,
-        core::GvtKind::kControlledAsync}) {
+        core::GvtKind::kControlledAsync, core::GvtKind::kEpoch}) {
     for (const core::MpiPlacement mpi :
          {core::MpiPlacement::kDedicated, core::MpiPlacement::kCombined,
           core::MpiPlacement::kEverywhere}) {

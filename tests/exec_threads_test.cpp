@@ -105,7 +105,7 @@ TEST(GvtFenceTest, RoundStormEveryIterationStillCommitsCorrectly) {
   // of times in a short run, amplifying any barrier-phasing bug.
   for (const core::GvtKind kind :
        {core::GvtKind::kBarrier, core::GvtKind::kMattern,
-        core::GvtKind::kControlledAsync}) {
+        core::GvtKind::kControlledAsync, core::GvtKind::kEpoch}) {
     core::SimulationConfig cfg = small_config();
     cfg.gvt = kind;
     cfg.gvt_interval = 1;

@@ -56,7 +56,8 @@ TEST_P(PerturbedGolden, AllAlgorithmsMatchSequentialOracle) {
 
   std::uint64_t total_drops = 0;
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     cfg.gvt = kind;
     Simulation sim(cfg, model);
     const SimulationResult r = sim.run(120.0);

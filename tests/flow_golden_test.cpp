@@ -57,7 +57,8 @@ TEST(FlowGoldenMatrix, BoundedMatchesOffAndOracleAcrossGvtKinds) {
   std::uint64_t total_cancelbacks = 0;
   std::uint64_t total_throttles = 0;
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     SimulationConfig off = base;
     off.gvt = kind;
     Simulation off_sim(off, model);
@@ -157,7 +158,8 @@ TEST(FlowGoldenMatrix, CancelbackComposesWithCrashRecovery) {
   pdes::SequentialReference ref(model, map, {.end_vt = base.end_vt, .seed = base.seed});
   ref.run();
 
-  for (const GvtKind kind : {GvtKind::kMattern, GvtKind::kControlledAsync}) {
+  for (const GvtKind kind :
+       {GvtKind::kMattern, GvtKind::kControlledAsync, GvtKind::kEpoch}) {
     SimulationConfig cfg = base;
     cfg.gvt = kind;
     cfg.flow = flow::parse_flow("bounded,mem=32,clamp=2");
@@ -198,7 +200,8 @@ TEST(FlowThreadsTest, ThreadsBackendBoundedMatchesOracle) {
   ASSERT_GT(ref.committed(), 100u);
 
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     cfg.gvt = kind;
     const SimulationResult r =
         exec::run_simulation(cfg, model, exec::BackendKind::kThreads, 120.0);

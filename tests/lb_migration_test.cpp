@@ -55,7 +55,8 @@ TEST_P(MigrationGolden, PlacementOnlyAcrossAlgorithmsAndPolicies) {
 
   std::uint64_t total_migrations = 0;
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     for (const bool migrate : {false, true}) {
       cfg.gvt = kind;
       cfg.lb = migrate ? lb::parse_lb(kAggressiveLb) : lb::LbConfig{};

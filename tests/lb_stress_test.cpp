@@ -40,7 +40,8 @@ TEST(MigrationSoak, HotspotStaysGoldenAcrossAllAlgorithms) {
 
   std::uint64_t total_migrations = 0;
   for (const GvtKind kind :
-       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync}) {
+       {GvtKind::kBarrier, GvtKind::kMattern, GvtKind::kControlledAsync,
+        GvtKind::kEpoch}) {
     cfg.gvt = kind;
     Simulation sim(cfg, *model);
     const SimulationResult r = sim.run(300.0);

@@ -1,0 +1,268 @@
+// Property tests for the configurable-arity tree all-reduce
+// (net/tree_reduce.hpp): for any rank count, arity, and message
+// interleaving, every rank's per-wave result must equal a direct flat fold
+// of the contributions — and at the Fabric level the tree must stay correct
+// while loss:/crash: faults chew on the surrounding data traffic, because
+// collective frames bypass the unreliable-delivery path by design.
+#include "net/tree_reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "fault/fault_parse.hpp"
+#include "models/phold.hpp"
+
+namespace cagvt::net {
+namespace {
+
+TEST(TreeTopologyTest, ParentChildConsistencyAcrossShapes) {
+  for (int nranks = 1; nranks <= 40; ++nranks) {
+    for (int arity = 2; arity <= 9; ++arity) {
+      const TreeTopology topo{nranks, arity};
+      EXPECT_EQ(topo.parent(0), -1);
+      int covered = 1;  // rank 0 is nobody's child
+      for (int r = 0; r < nranks; ++r) {
+        const int begin = topo.child_begin(r);
+        const int count = topo.num_children(r);
+        covered += count;
+        for (int c = begin; c < begin + count; ++c) {
+          ASSERT_LT(c, nranks);
+          EXPECT_EQ(topo.parent(c), r);
+        }
+      }
+      // Every rank appears as exactly one parent's child: the shape is a
+      // single tree, not a forest.
+      EXPECT_EQ(covered, nranks);
+    }
+  }
+}
+
+TreeVal random_val(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> ts(0.0, 100.0);
+  std::uniform_int_distribution<std::int64_t> bal(-50, 50);
+  std::uniform_int_distribution<std::int64_t> add(0, 1000);
+  TreeVal v;
+  v.min_a = ts(rng);
+  v.min_b = ts(rng);
+  for (auto& s : v.sum) s = bal(rng);
+  v.add_a = add(rng);
+  v.add_b = add(rng);
+  v.max_a = add(rng);
+  return v;
+}
+
+void expect_equal(const TreeVal& got, const TreeVal& want) {
+  EXPECT_EQ(got.min_a, want.min_a);
+  EXPECT_EQ(got.min_b, want.min_b);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got.sum[i], want.sum[i]);
+  EXPECT_EQ(got.add_a, want.add_a);
+  EXPECT_EQ(got.add_b, want.add_b);
+  EXPECT_EQ(got.max_a, want.max_a);
+}
+
+/// Drives nranks reducers to completion over `waves` waves, interleaving
+/// contributions and frame deliveries in an RNG-chosen order. Contributions
+/// stay in wave order per rank (as the Fabric guarantees) but ranks advance
+/// at arbitrary relative speeds, so parents legitimately see future waves.
+void run_interleaved(int nranks, int arity, int waves, std::mt19937_64& rng) {
+  const TreeTopology topo{nranks, arity};
+  std::vector<TreeReducer> ranks;
+  ranks.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranks.emplace_back(topo, r);
+
+  // contributions[r][w] and the flat per-wave fold they must reduce to.
+  std::vector<std::vector<TreeVal>> contributions(
+      static_cast<std::size_t>(nranks));
+  std::vector<TreeVal> expected(static_cast<std::size_t>(waves));
+  for (int r = 0; r < nranks; ++r)
+    for (int w = 0; w < waves; ++w) {
+      const TreeVal v = random_val(rng);
+      contributions[static_cast<std::size_t>(r)].push_back(v);
+      expected[static_cast<std::size_t>(w)] =
+          TreeVal::combine(expected[static_cast<std::size_t>(w)], v);
+    }
+
+  std::vector<int> next_wave(static_cast<std::size_t>(nranks), 0);
+  std::deque<TreeMsg> in_flight;
+  const auto absorb = [&](std::vector<TreeMsg> out) {
+    for (const TreeMsg& m : out) in_flight.push_back(m);
+  };
+
+  int pending_contributions = nranks * waves;
+  while (pending_contributions > 0 || !in_flight.empty()) {
+    // Pick uniformly among every enabled action: one pending contribution
+    // per rank, or any in-flight frame (delivered out of order on purpose).
+    std::vector<int> contributors;
+    for (int r = 0; r < nranks; ++r)
+      if (next_wave[static_cast<std::size_t>(r)] < waves) contributors.push_back(r);
+    const std::size_t actions = contributors.size() + in_flight.size();
+    ASSERT_GT(actions, 0u);
+    std::size_t pick = std::uniform_int_distribution<std::size_t>(
+        0, actions - 1)(rng);
+    if (pick < contributors.size()) {
+      const int r = contributors[pick];
+      const int w = next_wave[static_cast<std::size_t>(r)]++;
+      --pending_contributions;
+      absorb(ranks[static_cast<std::size_t>(r)].contribute(
+          static_cast<std::uint64_t>(w),
+          contributions[static_cast<std::size_t>(r)][static_cast<std::size_t>(w)]));
+    } else {
+      const std::size_t i = pick - contributors.size();
+      const TreeMsg msg = in_flight[i];
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(i));
+      absorb(ranks[static_cast<std::size_t>(msg.to)].deliver(msg));
+    }
+  }
+
+  for (int r = 0; r < nranks; ++r)
+    for (int w = 0; w < waves; ++w) {
+      ASSERT_TRUE(ranks[static_cast<std::size_t>(r)].has_result(
+          static_cast<std::uint64_t>(w)))
+          << "rank " << r << " wave " << w << " nranks=" << nranks
+          << " arity=" << arity;
+      expect_equal(ranks[static_cast<std::size_t>(r)].take_result(
+                       static_cast<std::uint64_t>(w)),
+                   expected[static_cast<std::size_t>(w)]);
+    }
+}
+
+TEST(TreeReduceTest, MatchesFlatFoldUnderRandomInterleavings) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nranks = std::uniform_int_distribution<int>(1, 48)(rng);
+    const int arity = std::uniform_int_distribution<int>(2, 9)(rng);
+    const int waves = std::uniform_int_distribution<int>(1, 5)(rng);
+    run_interleaved(nranks, arity, waves, rng);
+  }
+}
+
+TEST(TreeReduceTest, DegenerateShapes) {
+  std::mt19937_64 rng(7);
+  run_interleaved(/*nranks=*/1, /*arity=*/2, /*waves=*/3, rng);   // root only
+  run_interleaved(/*nranks=*/2, /*arity=*/2, /*waves=*/3, rng);   // one child
+  run_interleaved(/*nranks=*/33, /*arity=*/32, /*waves=*/2, rng); // star
+  run_interleaved(/*nranks=*/16, /*arity=*/2, /*waves=*/4, rng);  // binary
+}
+
+TEST(TreeReduceTest, FastRankRunsWavesAheadOfStragglers) {
+  // Rank nranks-1 (a leaf) contributes every wave before anyone else has
+  // contributed wave 0: its parent must buffer the future waves and still
+  // produce every result once the stragglers arrive.
+  const int nranks = 13, arity = 3, waves = 6;
+  const TreeTopology topo{nranks, arity};
+  std::vector<TreeReducer> ranks;
+  for (int r = 0; r < nranks; ++r) ranks.emplace_back(topo, r);
+
+  std::mt19937_64 rng(42);
+  std::vector<std::vector<TreeVal>> contributions(nranks);
+  std::vector<TreeVal> expected(waves);
+  for (int r = 0; r < nranks; ++r)
+    for (int w = 0; w < waves; ++w) {
+      const TreeVal v = random_val(rng);
+      contributions[r].push_back(v);
+      expected[w] = TreeVal::combine(expected[w], v);
+    }
+
+  std::deque<TreeMsg> in_flight;
+  const auto pump = [&](std::vector<TreeMsg> out) {
+    for (const TreeMsg& m : out) in_flight.push_back(m);
+    while (!in_flight.empty()) {  // eager, in-order delivery
+      const TreeMsg msg = in_flight.front();
+      in_flight.pop_front();
+      for (const TreeMsg& m : ranks[msg.to].deliver(msg)) in_flight.push_back(m);
+    }
+  };
+
+  const int fast = nranks - 1;
+  for (int w = 0; w < waves; ++w) pump(ranks[fast].contribute(w, contributions[fast][w]));
+  for (int w = 0; w < waves; ++w)
+    EXPECT_FALSE(ranks[0].has_result(w));  // no wave can close without the rest
+  for (int r = 0; r < fast; ++r)
+    for (int w = 0; w < waves; ++w) pump(ranks[r].contribute(w, contributions[r][w]));
+
+  for (int r = 0; r < nranks; ++r)
+    for (int w = 0; w < waves; ++w) {
+      ASSERT_TRUE(ranks[r].has_result(w));
+      expect_equal(ranks[r].take_result(w), expected[w]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric level: the epoch GVT rides the tree through the full simulated
+// network. Collective frames are exempt from loss:/crash: perturbation (a
+// dropped reduction frame would wedge the wave), so a faulted epoch run must
+// still commit exactly what an unfaulted-algorithm run with the same faults
+// commits.
+
+core::SimulationResult run_cluster(core::GvtKind gvt, const std::string& faults,
+                                   int tree_arity = 0) {
+  core::SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 25.0;
+  cfg.gvt = gvt;
+  cfg.gvt_tree_arity = tree_arity;
+  cfg.seed = 77;
+  if (!faults.empty()) {
+    cfg.faults = fault::parse_fault_schedule(faults);
+    cfg.ckpt_every = 5;
+  }
+  const pdes::LpMap map = core::Simulation::make_map(cfg);
+  models::PholdParams params;
+  params.remote_pct = 0.2;
+  params.regional_pct = 0.3;
+  const models::PholdModel model(map, params);
+  core::Simulation sim(cfg, model);
+  return sim.run(240.0);
+}
+
+TEST(TreeReduceFabricTest, EpochTreeSurvivesFrameLoss) {
+  const auto epoch =
+      run_cluster(core::GvtKind::kEpoch, "loss:rate=0.3,t=1ms..6ms");
+  const auto mattern =
+      run_cluster(core::GvtKind::kMattern, "loss:rate=0.3,t=1ms..6ms");
+  ASSERT_TRUE(epoch.completed);
+  ASSERT_TRUE(mattern.completed);
+  EXPECT_GT(epoch.tree_frames, 0u);
+  EXPECT_GT(epoch.frames_dropped, 0u);  // the loss window really fired
+  EXPECT_EQ(epoch.events.committed, mattern.events.committed);
+  EXPECT_EQ(epoch.committed_fingerprint, mattern.committed_fingerprint);
+  EXPECT_EQ(epoch.state_hash, mattern.state_hash);
+}
+
+TEST(TreeReduceFabricTest, EpochTreeSurvivesMidRunCrash) {
+  const auto epoch =
+      run_cluster(core::GvtKind::kEpoch, "crash:node=2,t=3ms,down=1ms");
+  const auto mattern =
+      run_cluster(core::GvtKind::kMattern, "crash:node=2,t=3ms,down=1ms");
+  ASSERT_TRUE(epoch.completed);
+  ASSERT_TRUE(mattern.completed);
+  EXPECT_GT(epoch.tree_frames, 0u);
+  EXPECT_GT(epoch.restores, 0u);  // the crash really rewound the cluster
+  EXPECT_EQ(epoch.events.committed, mattern.events.committed);
+  EXPECT_EQ(epoch.committed_fingerprint, mattern.committed_fingerprint);
+  EXPECT_EQ(epoch.state_hash, mattern.state_hash);
+}
+
+TEST(TreeReduceFabricTest, ExplicitArityOnClassicAlgorithmMatchesFlat) {
+  // --tree-arity reroutes barrier/sum/min collectives through the tree for
+  // every algorithm; the committed run must be bit-identical to the flat
+  // reduction it replaces.
+  const auto flat = run_cluster(core::GvtKind::kBarrier, "");
+  const auto treed = run_cluster(core::GvtKind::kBarrier, "", /*tree_arity=*/4);
+  ASSERT_TRUE(flat.completed);
+  ASSERT_TRUE(treed.completed);
+  EXPECT_EQ(flat.tree_frames, 0u);
+  EXPECT_GT(treed.tree_frames, 0u);
+  EXPECT_EQ(flat.committed_fingerprint, treed.committed_fingerprint);
+  EXPECT_EQ(flat.state_hash, treed.state_hash);
+}
+
+}  // namespace
+}  // namespace cagvt::net
