@@ -8,6 +8,8 @@
 // flushes.
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 namespace cagvt::bench {
 namespace {
 
@@ -45,4 +47,4 @@ CAGVT_INTERVAL_SWEEP(BM_CaComm);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl01")

@@ -7,6 +7,8 @@
 // behaviour plus token overhead).
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 namespace cagvt::bench {
 namespace {
 
@@ -37,4 +39,4 @@ BENCHMARK(BM_Threshold)
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl02")

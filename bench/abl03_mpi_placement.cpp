@@ -9,6 +9,8 @@
 // suffers.
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 namespace cagvt::bench {
 namespace {
 
@@ -39,4 +41,4 @@ CAGVT_SERIES(BM_EverywhereComm);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl03")

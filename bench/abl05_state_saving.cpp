@@ -10,6 +10,8 @@
 
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 #include "models/reverse_phold.hpp"
 
 namespace cagvt::bench {
@@ -54,4 +56,4 @@ CAGVT_SERIES(BM_ReverseComm);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("abl05")

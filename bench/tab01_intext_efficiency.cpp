@@ -9,6 +9,8 @@
 //   Barrier comm efficiency 94.2% vs Mattern 64.3%
 #include "figure_common.hpp"
 
+#include "bench_json.hpp"
+
 namespace cagvt::bench {
 namespace {
 
@@ -47,4 +49,4 @@ BENCHMARK(BM_BarrierComm)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("tab01")

@@ -15,6 +15,8 @@
 #include <cstdio>
 
 #include "figure_common.hpp"
+
+#include "bench_json.hpp"
 #include "obs/trace.hpp"
 
 namespace cagvt::bench {
@@ -103,4 +105,4 @@ BENCHMARK(BM_MatternCompRoundCost)->Iterations(1)->Unit(benchmark::kMillisecond)
 }  // namespace
 }  // namespace cagvt::bench
 
-BENCHMARK_MAIN();
+CAGVT_BENCH_MAIN_WITH_JSON("tab02")

@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   cfg.threads_per_node = 5;
   cfg.lps_per_worker = 16;  // 4 nodes x 4 workers x 16 LPs = a 16x16 torus
   cfg.end_vt = 50.0;
-  cfg.gvt = core::gvt_kind_from(opts.get_string("gvt", "ca-gvt"));
+  core::apply_gvt_spec(cfg, opts.get_string("gvt", "ca-gvt"));
 
   const pdes::LpMap map = core::Simulation::make_map(cfg);
   const int side = 16;

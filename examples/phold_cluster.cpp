@@ -9,10 +9,21 @@
 //   --threads N        hardware threads per node incl. MPI thread (7)
 //   --lps N            LPs per worker thread (32)
 //   --end T            virtual end time (50)
-//   --gvt NAME         barrier | mattern | ca-gvt | epoch (ca-gvt)
+//   --gvt SPEC         barrier | mattern | ca-gvt | epoch (ca-gvt), with
+//                      optional trigger-policy parameters:
+//                        --gvt=epoch,escalate=3,clamp=4,release=0.05,
+//                              queue-alpha=0.5,calm=2
+//                      escalate=K   tripped rounds before a quiesced sync
+//                                   round/epoch (0 = never escalate)
+//                      clamp=C      throttle-tier execution bound GVT + C
+//                      release=M    hysteresis margin above the efficiency
+//                                   threshold required to release
+//                      queue-alpha=A  EWMA weight of the queue-peak signal
+//                      calm=N       calm rounds before the clamp releases
 //   --tree-arity N     fan-in of the tree all-reduce used by collectives;
 //                      0 keeps flat reductions except for --gvt=epoch,
-//                      which defaults to a binary tree (0)
+//                      which autotunes the arity from the cluster cost
+//                      model (0)
 //   --mpi NAME         dedicated | combined | everywhere (dedicated)
 //   --backend NAME     coro | threads (coro). 'coro' is the deterministic
 //                      coroutine substrate with simulated time; 'threads'
@@ -101,7 +112,7 @@ int main(int argc, char** argv) try {
   cfg.threads_per_node = static_cast<int>(opts.get_int("threads", 7));
   cfg.lps_per_worker = static_cast<int>(opts.get_int("lps", 32));
   cfg.end_vt = opts.get_double("end", 50.0);
-  cfg.gvt = core::gvt_kind_from(opts.get_string("gvt", "ca-gvt"));
+  core::apply_gvt_spec(cfg, opts.get_string("gvt", "ca-gvt"));
   cfg.mpi = core::mpi_placement_from(opts.get_string("mpi", "dedicated"));
   cfg.gvt_interval = static_cast<int>(opts.get_int("interval", 12));
   cfg.ca_efficiency_threshold = opts.get_double("threshold", 0.8);
@@ -171,9 +182,10 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(r.regional_msgs),
               static_cast<unsigned long long>(r.remote_msgs),
               static_cast<unsigned long long>(r.net_frames));
-  std::printf("GVT rounds          : %llu (%llu synchronous), spanning %.4f s\n",
+  std::printf("GVT rounds          : %llu (%llu synchronous, %llu throttled), spanning %.4f s\n",
               static_cast<unsigned long long>(r.gvt_rounds),
-              static_cast<unsigned long long>(r.sync_rounds), r.gvt_round_seconds);
+              static_cast<unsigned long long>(r.sync_rounds),
+              static_cast<unsigned long long>(r.gvt_throttle_rounds), r.gvt_round_seconds);
   std::printf("GVT block time      : %.4f thread-seconds\n", r.gvt_block_seconds);
   std::printf("lock wait time      : %.4f thread-seconds\n", r.lock_wait_seconds);
   std::printf("LVT disparity       : %.4f (avg per-round stddev)\n", r.avg_lvt_disparity);

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail when a bench binary advertises a JSON baseline that is not committed.
+
+Every bench source that uses CAGVT_BENCH_MAIN_WITH_JSON("<figure>") or
+run_figure_main(..., "<figure>", ...) writes BENCH_<figure>.json on each run
+(bench/bench_json.hpp). Those reports are the perf-trajectory baselines CI
+diffs against, so each advertised figure must have its baseline checked in
+at the repository root. This guard scans bench/*.cpp for advertised figure
+names and errors on any missing (or unparseable) BENCH_<figure>.json.
+
+Usage:
+    python3 scripts/check_bench_baselines.py [repo_root]
+
+Exit codes: 0 all baselines present and valid JSON, 1 otherwise.
+"""
+
+import json
+import os
+import re
+import sys
+
+MACRO = re.compile(r'CAGVT_BENCH_MAIN_WITH_JSON\("([^"]+)"\)')
+FIGURE_MAIN = re.compile(r'run_figure_main\(\s*argc,\s*argv,\s*"([^"]+)"')
+
+
+def advertised_figures(bench_dir):
+    figures = {}
+    for fname in sorted(os.listdir(bench_dir)):
+        if not fname.endswith(".cpp"):
+            continue
+        with open(os.path.join(bench_dir, fname)) as f:
+            src = f.read()
+        for pattern in (MACRO, FIGURE_MAIN):
+            for figure in pattern.findall(src):
+                figures[figure] = fname
+    return figures
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    figures = advertised_figures(os.path.join(root, "bench"))
+    if not figures:
+        print("check_bench_baselines: no bench sources advertise JSON output",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for figure, source in sorted(figures.items()):
+        baseline = os.path.join(root, f"BENCH_{figure}.json")
+        if not os.path.exists(baseline):
+            failures.append(
+                f"bench/{source} advertises '{figure}' but BENCH_{figure}.json "
+                f"is not committed (run build/bench/* with CAGVT_BENCH_JSON_DIR=.)")
+            continue
+        try:
+            with open(baseline) as f:
+                report = json.load(f)
+            if not report.get("benchmarks"):
+                failures.append(f"BENCH_{figure}.json has no 'benchmarks' entries")
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"BENCH_{figure}.json is not valid JSON: {e}")
+
+    if failures:
+        for line in failures:
+            print(f"check_bench_baselines: {line}", file=sys.stderr)
+        return 1
+    print(f"check_bench_baselines: {len(figures)} baselines present and valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,13 @@
 //
 // With high efficiency it behaves like pure Mattern (asynchronous, no
 // stalls); with low efficiency the barriers align thread progress like
-// Barrier GVT, cutting rollbacks. The efficiency bookkeeping itself costs
+// Barrier GVT, cutting rollbacks. This reproduction interposes a cheaper
+// first response before the barriers: the first tripped rounds only clamp
+// execution to GVT + gvt_throttle_clamp (SyncTier::kThrottle) while rounds
+// stay asynchronous, and the barrier set engages only after the smoothed
+// signal stays bad for gvt_escalate_rounds consecutive rounds (see
+// CaTriggerPolicy in core/gvt_policy.hpp and DESIGN §13).
+// The efficiency bookkeeping itself costs
 // a little extra per round (the paper measures GVT rounds ~8% costlier
 // than plain Mattern) — modelled by ClusterSpec::ca_round_overhead.
 //
@@ -31,17 +37,20 @@ class CaGvt final : public MatternGvt {
   using MatternGvt::MatternGvt;
 
  protected:
-  bool want_sync(double efficiency, std::uint64_t queue_peak) const override {
+  SyncDecision decide_tier(double efficiency, std::uint64_t queue_peak) override {
     // The trigger arithmetic is shared with the real-thread fence
-    // (exec/gvt_fence) via core/gvt_policy.hpp.
-    const CaTriggerPolicy policy{
-        node_.cfg().ca_efficiency_threshold,
-        static_cast<std::uint64_t>(node_.cfg().ca_queue_threshold)};
-    return policy.want_sync(efficiency, queue_peak);
+    // (exec/gvt_fence) via core/gvt_policy.hpp. The policy is stateful
+    // (hysteresis, queue EWMA, escalation streak) and decide_tier is
+    // called exactly once per round at rank 0, so the policy instance sees
+    // every round's measurement window in order.
+    return policy_.decide(efficiency, queue_peak);
   }
   metasim::SimTime contribute_overhead() const override {
     return node_.cfg().cluster.ca_round_overhead;
   }
+
+ private:
+  CaTriggerPolicy policy_{trigger_policy_from(node_.cfg())};
 };
 
 }  // namespace cagvt::core

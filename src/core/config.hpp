@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "cons/cons_config.hpp"
+#include "core/gvt_policy.hpp"
 #include "fault/fault_parse.hpp"
 #include "fault/fault_spec.hpp"
 #include "flow/flow_config.hpp"
 #include "lb/lb_config.hpp"
 #include "net/cluster_spec.hpp"
 #include "pdes/event.hpp"
+#include "util/config.hpp"
 
 namespace cagvt::core {
 
@@ -67,16 +69,35 @@ struct SimulationConfig {
   int gvt_interval = 25;
   GvtKind gvt = GvtKind::kMattern;
   MpiPlacement mpi = MpiPlacement::kDedicated;
-  /// CA-GVT: switch to synchronous rounds below this efficiency.
+  /// CA-GVT: engage the adaptive policy below this efficiency.
   double ca_efficiency_threshold = 0.80;
-  /// CA-GVT's second trigger (paper Section 8): synchronize when the peak
-  /// MPI queue occupancy since the last round exceeds this many messages.
+  /// CA-GVT's second trigger (paper Section 8): engage when the (smoothed)
+  /// peak MPI queue occupancy since the last round exceeds this many
+  /// messages.
   int ca_queue_threshold = 16;
+  // --- tiered escalation of the adaptive policy (core/gvt_policy.hpp) ----
+  /// Consecutive tripped rounds/epochs before the throttle tier escalates
+  /// to fully synchronous rounds (0 = never escalate; 1 = the paper's
+  /// trip-means-barriers CA-GVT). Spelled `escalate=` in --gvt specs.
+  int gvt_escalate_rounds = 3;
+  /// Width C of the execution clamp the throttle tier applies: workers may
+  /// not process events past GVT + C virtual time units. Spelled `clamp=`.
+  double gvt_throttle_clamp = 4.0;
+  /// Hysteresis release margin: the policy only counts a round as calm
+  /// when efficiency exceeds threshold + margin. Spelled `release=`.
+  double ca_release_margin = 0.05;
+  /// EWMA weight of the newest per-round queue peak in the smoothed queue
+  /// trigger (1.0 = raw peaks, no smoothing). Spelled `queue-alpha=`.
+  double ca_queue_alpha = 0.5;
+  /// Consecutive calm rounds before an engaged policy releases its clamp.
+  /// Spelled `calm=`.
+  int gvt_calm_rounds = 2;
   /// Fan-out of the vmpi tree reduction (net/tree_reduce.hpp). 0 keeps the
   /// flat rendezvous collectives (status quo for barrier/mattern/ca-gvt);
   /// >= 2 routes node-level collectives over the reduce-up/broadcast-down
   /// tree. --gvt=epoch always runs on the tree: when the arity is left at
-  /// 0 it defaults to 2.
+  /// 0 it is autotuned from the node count and the cluster cost model
+  /// (see autotune_tree_arity below).
   int gvt_tree_arity = 0;
 
   std::uint64_t seed = 1;
@@ -135,6 +156,22 @@ struct SimulationConfig {
     if (!(end_vt > 0)) throw std::invalid_argument("end_vt must be > 0");
     if (ca_efficiency_threshold < 0 || ca_efficiency_threshold > 1)
       throw std::invalid_argument("ca_efficiency_threshold must be in [0,1]");
+    if (gvt_escalate_rounds < 0)
+      throw std::invalid_argument(
+          "--gvt escalate must be >= 0 (0 = never escalate to synchronous "
+          "rounds, 1 = escalate on the first tripped round)");
+    if (!(gvt_throttle_clamp > 0))
+      throw std::invalid_argument(
+          "--gvt clamp must be > 0 virtual-time units (the throttle tier "
+          "bounds execution to GVT + clamp)");
+    if (ca_release_margin < 0 || ca_release_margin > 1)
+      throw std::invalid_argument("--gvt release margin must be in [0,1]");
+    if (!(ca_queue_alpha > 0) || ca_queue_alpha > 1)
+      throw std::invalid_argument(
+          "--gvt queue-alpha must be in (0,1] (1 = unsmoothed queue peaks)");
+    if (gvt_calm_rounds < 1)
+      throw std::invalid_argument(
+          "--gvt calm must be >= 1 round before the clamp releases");
     if (gvt_tree_arity != 0 && gvt_tree_arity < 2)
       throw std::invalid_argument("gvt_tree_arity must be 0 (flat collectives) or >= 2");
     if (ckpt_every < 0) throw std::invalid_argument("ckpt_every must be >= 0");
@@ -226,6 +263,73 @@ inline MpiPlacement mpi_placement_from(std::string_view name) {
   if (name == "everywhere") return MpiPlacement::kEverywhere;
   throw std::invalid_argument("unknown MPI placement: '" + std::string(name) +
                               "' (expected dedicated, combined, or everywhere)");
+}
+
+/// The tiered trigger policy a configuration implies (core/gvt_policy.hpp).
+/// Shared by CA-GVT, the epoch GVT, and the real-thread fence so the
+/// adaptivity arithmetic cannot diverge between algorithms or backends.
+inline CaTriggerPolicy trigger_policy_from(const SimulationConfig& cfg) {
+  CaTriggerPolicy::Config pc;
+  pc.efficiency_threshold = cfg.ca_efficiency_threshold;
+  pc.release_margin = cfg.ca_release_margin;
+  pc.queue_threshold = static_cast<std::uint64_t>(cfg.ca_queue_threshold);
+  pc.queue_alpha = cfg.ca_queue_alpha;
+  pc.escalate_after = cfg.gvt_escalate_rounds;
+  pc.calm_release = cfg.gvt_calm_rounds;
+  return CaTriggerPolicy(pc);
+}
+
+/// Parse a full --gvt specification — "kind[,key=value,...]", e.g.
+/// "epoch,escalate=4,clamp=2" — into `cfg`. The bare kind keeps every
+/// escalation knob at its current value; unknown kinds, unknown keys, and
+/// out-of-range values all throw naming the valid alternatives.
+inline void apply_gvt_spec(SimulationConfig& cfg, std::string_view text) {
+  std::string_view kind = text;
+  std::string_view params;
+  if (const auto comma = text.find(','); comma != std::string_view::npos) {
+    kind = text.substr(0, comma);
+    params = text.substr(comma + 1);
+  }
+  cfg.gvt = gvt_kind_from(kind);
+  if (params.empty()) return;
+  const Options opts = Options::parse_kv(params);
+  cfg.gvt_escalate_rounds =
+      static_cast<int>(opts.get_int("escalate", cfg.gvt_escalate_rounds));
+  cfg.gvt_throttle_clamp = opts.get_double("clamp", cfg.gvt_throttle_clamp);
+  cfg.ca_release_margin = opts.get_double("release", cfg.ca_release_margin);
+  cfg.ca_queue_alpha = opts.get_double("queue-alpha", cfg.ca_queue_alpha);
+  cfg.gvt_calm_rounds = static_cast<int>(opts.get_int("calm", cfg.gvt_calm_rounds));
+  for (const std::string& key : opts.unused_keys())
+    throw std::invalid_argument(
+        "unknown --gvt parameter: '" + key +
+        "' (expected escalate, clamp, release, queue-alpha, or calm)");
+}
+
+/// Pick a tree-reduction arity for `nodes` ranks from the cluster cost
+/// model (the A11 ablation's wave-latency model): one reduce-up or
+/// broadcast-down traversal costs depth * (link latency + per-hop CPU)
+/// on the critical path, plus the parent's service of its `arity` child
+/// frames per level. Wider trees are shallower (fewer latency hops) but
+/// serialize more per-child work at each parent; the crossover moves with
+/// the node count. --tree-arity > 0 overrides the autotune.
+inline int autotune_tree_arity(int nodes, const net::ClusterSpec& cluster) {
+  if (nodes <= 3) return 2;
+  int best_arity = 2;
+  double best_cost = 0;
+  for (int arity = 2; arity <= 8 && arity < nodes; ++arity) {
+    int depth = 0;
+    for (long long span = 1; span < nodes; span *= arity) ++depth;
+    const double per_level =
+        static_cast<double>(cluster.net_latency) +
+        static_cast<double>(cluster.mpi_collective_cpu) +
+        static_cast<double>(arity) * static_cast<double>(cluster.control_recv_cpu);
+    const double cost = static_cast<double>(depth) * per_level;
+    if (best_cost == 0 || cost < best_cost) {
+      best_cost = cost;
+      best_arity = arity;
+    }
+  }
+  return best_arity;
 }
 
 }  // namespace cagvt::core

@@ -32,8 +32,10 @@ void EpochGvt::begin_epoch() {
   // the cluster-wide recovery / migration answer, exactly like Mattern.
   lb_moves_ = plan_ != RoundPlan::kRestore && node_.lb() != nullptr &&
               node_.lb()->round_has_moves(epoch_);
-  // Checkpoint / restore / migration epochs and CA-triggered epochs run
-  // synchronously; everything else keeps the pipeline fully asynchronous.
+  // Checkpoint / restore / migration epochs and escalated CA trips
+  // (SyncTier::kSync after gvt_escalate_rounds bad epochs) run
+  // synchronously; throttled epochs (SyncTier::kThrottle) and everything
+  // else keep the pipeline fully asynchronous.
   sync_epoch_ = pending_sync_ || plan_ != RoundPlan::kNormal || lb_moves_;
   // Overload protection: a red-pressure round request is satisfied by the
   // continuously running cadence — every epoch fossil-collects.
@@ -48,6 +50,12 @@ void EpochGvt::finish_epoch() {
   ++stats_.rounds;
   if (sync_epoch_) ++stats_.sync_rounds;
   stats_.round_time_total += node_.engine().now() - epoch_started_;
+  // Tier occupancy: plan-forced synchronous epochs count as kSync even
+  // when the adaptive policy did not ask for one.
+  note_round_tier(sync_epoch_ ? SyncTier::kSync
+                  : node_.gvt_throttle_bound() != pdes::kVtInfinity
+                      ? SyncTier::kThrottle
+                      : SyncTier::kAsync);
   node_.trace().round_end(node_.rank(), epoch_);
   node_.metrics().counter("gvt.rounds").inc();
   if (sync_epoch_) node_.metrics().counter("gvt.sync_rounds").inc();
@@ -68,19 +76,31 @@ void EpochGvt::complete_epoch(const net::TreeVal& total) {
   const auto processed = static_cast<std::uint64_t>(total.add_b);
   const auto queue_peak = static_cast<std::uint64_t>(total.max_a);
   // Shared policy (core/gvt_policy.hpp): the same smoothing and the same
-  // two triggers CA-GVT adapts on decide whether the NEXT epoch quiesces.
+  // two triggers CA-GVT adapts on decide the NEXT epoch's tier. Every rank
+  // runs the stateful policy on the identical reduced totals, so the
+  // hysteresis / escalation state machines stay in lockstep with no extra
+  // broadcast. Throttle-first: a trip clamps execution to GVT + C while
+  // epochs keep pipelining; only gvt_escalate_rounds consecutive tripped
+  // epochs escalate to a quiesced synchronous epoch.
   efficiency_.update(committed, processed);
   const double last_efficiency = efficiency_.value();
-  pending_sync_ = trigger_.want_sync(last_efficiency, queue_peak);
+  const SyncDecision decision = trigger_.decide(last_efficiency, queue_peak);
+  pending_tier_ = decision.tier;
+  pending_sync_ = decision.tier == SyncTier::kSync;
+  if (decision.tier == SyncTier::kAsync) {
+    node_.release_gvt_throttle();
+  } else {
+    node_.engage_gvt_throttle(gvt, node_.cfg().gvt_throttle_clamp);
+  }
   node_.trace().gvt_computed(node_.rank(), epoch_, gvt, last_efficiency, queue_peak);
   if (pending_sync_ != sync_epoch_) {
     node_.trace().mode_switch(node_.rank(), epoch_, pending_sync_, last_efficiency,
                               queue_peak);
     node_.metrics().counter("gvt.mode_switches").inc();
   }
-  CAGVT_LOG_DEBUG("gvt epoch %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu sync_next=%d",
+  CAGVT_LOG_DEBUG("gvt epoch %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu next_tier=%s",
                   static_cast<unsigned long long>(epoch_), gvt, last_efficiency,
-                  static_cast<unsigned long long>(queue_peak), pending_sync_ ? 1 : 0);
+                  static_cast<unsigned long long>(queue_peak), to_string(decision.tier));
   gvt_value_ = gvt;
   phase_ = Phase::kBroadcast;
   node_.trace().phase_change(node_.rank(), epoch_, "broadcast");

@@ -29,11 +29,16 @@
 // Soundness is Mattern's cut argument with three alternating "colours"
 // (see core/epoch_ledger.hpp for why three buckets suffice and when a
 // bucket recycles). CA-style adaptivity composes through the shared
-// core/gvt_policy.hpp triggers: an epoch whose smoothed efficiency or MPI
-// queue peak trips CaTriggerPolicy runs synchronously (join barrier, held
-// workers with deferred reads, post-fossil barrier, all three buckets
-// drained), which is also how checkpoint / restore / migration epochs
-// quiesce — identical to MatternGvt's synchronous rounds.
+// core/gvt_policy.hpp triggers, throttle-first: an epoch whose smoothed
+// efficiency or MPI queue-peak EWMA trips CaTriggerPolicy first only
+// clamps execution to GVT + gvt_throttle_clamp (SyncTier::kThrottle) while
+// epochs keep pipelining asynchronously — the sync tax of a quiesced epoch
+// is paid only if the signal stays tripped for gvt_escalate_rounds
+// consecutive epochs (SyncTier::kSync: join barrier, held workers with
+// deferred reads, post-fossil barrier, all three buckets drained), which
+// is also how checkpoint / restore / migration epochs quiesce — identical
+// to MatternGvt's synchronous rounds. Hysteresis releases the clamp only
+// after gvt_calm_rounds calm epochs above threshold + release margin.
 //
 // DESIGN §13 documents the protocol, the tree reduction, and why the
 // bounded-window conservative executor (set_always_sync) is rejected.
@@ -52,8 +57,7 @@ class EpochGvt : public GvtAlgorithm {
       : GvtAlgorithm(node),
         cm_mutex_(node.engine(), node.cfg().cluster.lock_acquire,
                   node.cfg().cluster.lock_handoff),
-        trigger_{node.cfg().ca_efficiency_threshold,
-                 static_cast<std::uint64_t>(node.cfg().ca_queue_threshold)} {}
+        trigger_{trigger_policy_from(node.cfg())} {}
 
   void on_send(WorkerCtx& worker, pdes::Event& event) override {
     // Same minimum rule as Mattern's min_red: kNull/kNullRequest are
@@ -142,7 +146,14 @@ class EpochGvt : public GvtAlgorithm {
   bool first_wave_ = true;
 
   double gvt_value_ = 0;
-  bool pending_sync_ = false;     // next epoch synchronous (CA triggers)
+  /// Tier decided for the next epoch. kThrottle clamps execution to
+  /// GVT + gvt_throttle_clamp while epochs keep pipelining asynchronously;
+  /// kSync quiesces the next epoch — reached only when the smoothed signal
+  /// stayed tripped for gvt_escalate_rounds consecutive epochs (the
+  /// deferred-escalation state machine lives in CaTriggerPolicy; every
+  /// rank runs it in lockstep on the identical reduced totals).
+  SyncTier pending_tier_ = SyncTier::kAsync;
+  bool pending_sync_ = false;     // pending_tier_ == kSync (epoch to open)
   bool sync_epoch_ = false;       // this epoch synchronous
   EfficiencyEstimator efficiency_;
 

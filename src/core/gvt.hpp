@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "core/config.hpp"
+#include "core/gvt_policy.hpp"
 #include "core/messages.hpp"
 #include "metasim/process.hpp"
 #include "pdes/event.hpp"
@@ -33,6 +34,9 @@ struct WorkerCtx;
 struct GvtAlgoStats {
   std::uint64_t rounds = 0;       // GVT rounds completed at this node
   std::uint64_t sync_rounds = 0;  // rounds executed with added synchrony (CA)
+  /// Rounds that ran asynchronously but under the policy's execution clamp
+  /// (SyncTier::kThrottle — the deferred-escalation middle tier).
+  std::uint64_t throttle_rounds = 0;
   metasim::SimTime round_time_total = 0;  // wall time spanned by rounds
 };
 
@@ -82,6 +86,13 @@ class GvtAlgorithm {
   const GvtAlgoStats& stats() const { return stats_; }
 
  protected:
+  /// Tier-occupancy accounting shared by the Mattern family and the epoch
+  /// pipeline: call once per completed round/epoch with the tier it
+  /// actually ran at (plan-forced synchronous rounds count as kSync).
+  /// Bumps stats_ and the gvt.tier.* metrics, and mirrors the current tier
+  /// into the gvt.tier gauge.
+  void note_round_tier(SyncTier tier);
+
   NodeRuntime& node_;
   GvtAlgoStats stats_;
 };

@@ -3,8 +3,25 @@
 #include "core/epoch_gvt.hpp"
 #include "core/gvt.hpp"
 #include "core/mattern_gvt.hpp"
+#include "core/node_runtime.hpp"
 
 namespace cagvt::core {
+
+void GvtAlgorithm::note_round_tier(SyncTier tier) {
+  switch (tier) {
+    case SyncTier::kAsync:
+      node_.metrics().counter("gvt.tier.async").inc();
+      break;
+    case SyncTier::kThrottle:
+      ++stats_.throttle_rounds;
+      node_.metrics().counter("gvt.tier.throttle").inc();
+      break;
+    case SyncTier::kSync:
+      node_.metrics().counter("gvt.tier.sync").inc();
+      break;
+  }
+  node_.metrics().gauge("gvt.tier").set(static_cast<double>(tier));
+}
 
 std::unique_ptr<GvtAlgorithm> make_gvt(GvtKind kind, NodeRuntime& node) {
   switch (kind) {

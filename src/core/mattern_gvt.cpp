@@ -38,8 +38,11 @@ void MatternGvt::begin_round() {
               node_.lb()->round_has_moves(round_);
   // Checkpoint/restore/migration rounds piggyback on the synchronous
   // machinery: the barriers quiesce processing, and the post-fossil barrier
-  // fences the snapshot/rewind/moves from the round's message flush.
-  sync_round_active_ = sync_flag_ || always_sync_ || plan_ != RoundPlan::kNormal || lb_moves_;
+  // fences the snapshot/rewind/moves from the round's message flush. The
+  // adaptive policy only reaches the barrier set at SyncTier::kSync;
+  // kThrottle rounds run asynchronously under the execution clamp.
+  sync_round_active_ = tier_flag_ == SyncTier::kSync || always_sync_ ||
+                       plan_ != RoundPlan::kNormal || lb_moves_;
   // Overload protection: a red-pressure round request is satisfied by this
   // round (the controller keeps it visible until adoption so every node's
   // trigger fires promptly).
@@ -49,10 +52,16 @@ void MatternGvt::begin_round() {
 
 void MatternGvt::finish_round() {
   phase_ = Phase::kIdle;
-  sync_flag_ = pending_sync_;
+  tier_flag_ = pending_tier_;
   ++stats_.rounds;
   if (sync_round_active_) ++stats_.sync_rounds;
   stats_.round_time_total += node_.engine().now() - round_started_;
+  // Tier occupancy: plan-forced synchronous rounds count as kSync even when
+  // the adaptive policy did not ask for one.
+  note_round_tier(sync_round_active_ ? SyncTier::kSync
+                  : node_.gvt_throttle_bound() != pdes::kVtInfinity
+                      ? SyncTier::kThrottle
+                      : SyncTier::kAsync);
   node_.trace().round_end(node_.rank(), round_);
   node_.metrics().counter("gvt.rounds").inc();
   if (sync_round_active_) node_.metrics().counter("gvt.sync_rounds").inc();
@@ -70,7 +79,15 @@ void MatternGvt::apply_broadcast(const MatternToken& token) {
   CAGVT_CHECK_MSG(token.round == round_, "GVT round desynchronized across nodes");
   CAGVT_CHECK(phase_ == Phase::kCollect);
   gvt_value_ = token.gvt;
-  pending_sync_ = token.sync_next_round;
+  pending_tier_ = token.next_tier;
+  // Throttle-first intervention: every rank applies the broadcast tier to
+  // its execution clamp immediately (the clamp also stays on across kSync
+  // rounds — escalation adds barriers, it does not lift the bound).
+  if (pending_tier_ == SyncTier::kAsync) {
+    node_.release_gvt_throttle();
+  } else {
+    node_.engage_gvt_throttle(token.gvt, node_.cfg().gvt_throttle_clamp);
+  }
   phase_ = Phase::kBroadcast;
   node_.trace().phase_change(node_.rank(), round_, "broadcast");
 }
@@ -90,20 +107,22 @@ Process MatternGvt::complete_collect(MatternToken token) {
   // shared with the real-thread fence so both backends adapt identically.
   efficiency_.update(token.committed, token.processed);
   const double last_efficiency = efficiency_.value();
-  token.sync_next_round = want_sync(last_efficiency, token.queue_peak);
+  const SyncDecision decision = decide_tier(last_efficiency, token.queue_peak);
+  token.next_tier = decision.tier;
   node_.trace().gvt_computed(node_.rank(), token.round, token.gvt, last_efficiency,
                              token.queue_peak);
-  if (token.sync_next_round != sync_round_active_) {
+  const bool sync_next = decision.tier == SyncTier::kSync;
+  if (sync_next != sync_round_active_) {
     // CA-GVT flips mode for the next round; the smoothed efficiency and the
     // round's queue peak are exactly the measurements that triggered it.
-    node_.trace().mode_switch(node_.rank(), token.round, token.sync_next_round,
+    node_.trace().mode_switch(node_.rank(), token.round, sync_next,
                               last_efficiency, token.queue_peak);
     node_.metrics().counter("gvt.mode_switches").inc();
   }
-  CAGVT_LOG_DEBUG("gvt round %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu sync_next=%d",
+  CAGVT_LOG_DEBUG("gvt round %llu: gvt=%.3f efficiency=%.3f queue_peak=%llu next_tier=%s",
                   static_cast<unsigned long long>(token.round), token.gvt, last_efficiency,
                   static_cast<unsigned long long>(token.queue_peak),
-                  token.sync_next_round ? 1 : 0);
+                  to_string(decision.tier));
   token.phase = MatternToken::Phase::kBroadcast;
   token.visits = 1;
   apply_broadcast(token);

@@ -109,13 +109,15 @@ class MatternGvt : public GvtAlgorithm {
   };
 
   // --- CA-GVT extension hooks --------------------------------------------
-  /// Should the NEXT round add synchronization, given the smoothed global
-  /// efficiency and the cluster-wide peak MPI queue occupancy measured
-  /// this round?
-  virtual bool want_sync(double efficiency, std::uint64_t queue_peak) const {
+  /// Which tier should the NEXT round run at, given the smoothed global
+  /// efficiency and the cluster-wide peak MPI queue occupancy measured this
+  /// round? Called exactly once per round at rank 0 (the decision rides the
+  /// broadcast token), so a stateful policy sees every round's window.
+  /// Plain Mattern never intervenes.
+  virtual SyncDecision decide_tier(double efficiency, std::uint64_t queue_peak) {
     (void)efficiency;
     (void)queue_peak;
-    return false;
+    return {};
   }
   /// Extra per-thread cost of the round's efficiency bookkeeping.
   virtual metasim::SimTime contribute_overhead() const { return 0; }
@@ -164,10 +166,14 @@ class MatternGvt : public GvtAlgorithm {
   int adopted_count_ = 0;
 
   double gvt_value_ = 0;
-  bool pending_sync_ = false;
-  bool sync_flag_ = false;          // SyncFlag in effect for the next round
+  /// Tier decided for the next round (broadcast by rank 0 in the token).
+  SyncTier pending_tier_ = SyncTier::kAsync;
+  /// Tier in effect for the round currently being opened (the SyncFlag of
+  /// Algorithm 3, generalized: kSync adds the conditional barriers, while
+  /// kThrottle only keeps the execution clamp engaged).
+  SyncTier tier_flag_ = SyncTier::kAsync;
   bool always_sync_ = false;        // window-mode: every round synchronous
-  bool sync_round_active_ = false;  // SyncFlag snapshot for the current one
+  bool sync_round_active_ = false;  // this round runs the barrier set
   EfficiencyEstimator efficiency_;  // EWMA of per-round decided efficiency
 
   /// What this round does besides GVT (checkpoint / restore). Checkpoint

@@ -5,6 +5,7 @@
 #include <limits>
 #include <variant>
 
+#include "core/gvt_policy.hpp"
 #include "pdes/event.hpp"
 
 namespace cagvt::core {
@@ -35,7 +36,10 @@ struct MatternToken {
 
   // kBroadcast payload.
   double gvt = 0;
-  bool sync_next_round = false;  // CA-GVT SyncFlag for the next round
+  /// CA-GVT's adaptivity verdict for the next round: rank 0 runs the
+  /// tiered trigger policy at Collect completion and every rank applies
+  /// the broadcast tier (throttle clamp and/or synchronous round).
+  SyncTier next_tier = SyncTier::kAsync;
 };
 
 /// Everything that traverses the network: individual remote events (the

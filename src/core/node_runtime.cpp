@@ -167,10 +167,11 @@ Process NodeRuntime::worker_main(WorkerCtx& worker) {
       co_await drain_inboxes(worker, &did_work);
       int processed = 0;
       for (int b = 0; b < cfg_.batch; ++b) {
-        // Execution horizon: the tighter of the conservative window (--sync)
-        // and the flow throttle clamp (--flow); infinity = free-running.
-        double bound = pdes::kVtInfinity;
-        if (cons_ != nullptr) bound = cons_->bound(worker.global_worker);
+        // Execution horizon: the tightest of the conservative window
+        // (--sync), the flow throttle clamp (--flow), and the adaptive GVT
+        // policy's throttle tier; infinity = free-running.
+        double bound = gvt_throttle_bound_;
+        if (cons_ != nullptr) bound = std::min(bound, cons_->bound(worker.global_worker));
         if (flow_ != nullptr)
           bound = std::min(bound, flow_->exec_bound(worker.global_worker));
         pdes::Outcome out = bound == pdes::kVtInfinity

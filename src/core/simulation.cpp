@@ -28,11 +28,16 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   metasim::Engine engine;
   Fabric fabric(engine, cfg_.cluster, cfg_.nodes);
   // The tree reduction must exist before any traffic: the epoch GVT always
-  // runs on it (defaulting to a binary tree), and any other algorithm opts
-  // in through --tree-arity to route the flat rendezvous collectives over
-  // the same reduce-up/broadcast-down structure.
+  // runs on it, and any other algorithm opts in through --tree-arity to
+  // route the flat rendezvous collectives over the same
+  // reduce-up/broadcast-down structure. When --tree-arity is not given the
+  // arity is autotuned from the cluster cost model (see
+  // autotune_tree_arity): wider trees are shallower (fewer serialized
+  // latency hops) but serialize more child receives per parent.
   if (cfg_.gvt_tree_arity > 0 || cfg_.gvt == GvtKind::kEpoch)
-    fabric.enable_tree(cfg_.gvt_tree_arity > 0 ? cfg_.gvt_tree_arity : 2);
+    fabric.enable_tree(cfg_.gvt_tree_arity > 0
+                           ? cfg_.gvt_tree_arity
+                           : autotune_tree_arity(cfg_.nodes, cfg_.cluster));
   ClusterProfiler profiler;
 
   // Observability is measurement-only: the recorder stamps records with the
@@ -154,6 +159,9 @@ SimulationResult Simulation::run(double max_wall_seconds) {
   const auto& gvt0 = nodes.front()->gvt();
   result.gvt_rounds = gvt0.stats().rounds;
   result.sync_rounds = gvt0.stats().sync_rounds;
+  result.gvt_throttle_rounds = gvt0.stats().throttle_rounds;
+  for (auto& node : nodes)
+    result.gvt_throttle_engagements += node->gvt_throttle_engagements();
   result.gvt_round_seconds = metasim::to_seconds(gvt0.stats().round_time_total);
   result.avg_lvt_disparity = profiler.avg_lvt_disparity();
   if (const auto* mattern = dynamic_cast<const MatternGvt*>(&gvt0))
@@ -220,6 +228,10 @@ SimulationResult Simulation::run(double max_wall_seconds) {
     metrics->gauge("run.gvt_block_seconds").set(result.gvt_block_seconds);
     metrics->gauge("run.lock_wait_seconds").set(result.lock_wait_seconds);
     metrics->gauge("run.completed").set(result.completed ? 1 : 0);
+    metrics->gauge("run.gvt_throttle_rounds")
+        .set(static_cast<double>(result.gvt_throttle_rounds));
+    metrics->gauge("run.gvt_throttle_engagements")
+        .set(static_cast<double>(result.gvt_throttle_engagements));
     if (faults != nullptr) {
       metrics->gauge("run.fault_activations")
           .set(static_cast<double>(result.fault_activations));

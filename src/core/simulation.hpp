@@ -36,6 +36,13 @@ struct SimulationResult {
 
   std::uint64_t gvt_rounds = 0;
   std::uint64_t sync_rounds = 0;  // CA-GVT rounds run synchronously
+  /// Rounds/epochs that ran asynchronously under the trigger policy's
+  /// execution clamp (SyncTier::kThrottle, the deferred-escalation tier).
+  std::uint64_t gvt_throttle_rounds = 0;
+  /// Clamp engage transitions performed by the GVT trigger policy
+  /// (infinity -> finite bound), summed over nodes (coroutine backend) or
+  /// workers (threads backend).
+  std::uint64_t gvt_throttle_engagements = 0;
   /// Wall time spanned by GVT rounds at node 0 (the paper's "time elapsed
   /// on the GVT function").
   double gvt_round_seconds = 0;

@@ -7,13 +7,16 @@
 namespace cagvt::exec {
 
 GvtFence::GvtFence(int parties, double end_vt, std::atomic<std::int64_t>& in_flight,
-                   std::function<bool()> out_of_time)
+                   std::function<bool()> out_of_time, core::CaTriggerPolicy policy,
+                   bool adaptive)
     : parties_(parties),
       end_vt_(end_vt),
       in_flight_(in_flight),
       out_of_time_(std::move(out_of_time)),
       barrier_(parties),
-      slots_(static_cast<std::size_t>(parties)) {
+      slots_(static_cast<std::size_t>(parties)),
+      policy_(policy),
+      adaptive_(adaptive) {
   CAGVT_CHECK(parties >= 1);
 }
 
@@ -27,6 +30,10 @@ FenceRound GvtFence::run_round(int party, const std::function<void()>& drain,
     // no thread is in its main loop, so no announce can race this clear.
     announce_.store(false, std::memory_order_release);
     control_round_ = control_announce_.exchange(false, std::memory_order_acq_rel);
+    // Queue-occupancy signal for the adaptive policy: the backlog as the
+    // round begins, before the quiesce loop drains it to zero.
+    entry_backlog_ = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, in_flight_.load(std::memory_order_acquire)));
   }
 
   // Quiesce: alternate full drain passes with a push-free window in which
@@ -66,6 +73,15 @@ void GvtFence::reduce() {
   estimator_.update(total.committed_delta, total.processed_delta);
   efficiency_.store(estimator_.value(), std::memory_order_release);
 
+  // Throttle-first adaptive tiering (CA-GVT and epoch kinds): the shared
+  // stateful policy decides the NEXT round's tier from the smoothed
+  // efficiency and the entry backlog. Workers read it at adoption (clamp)
+  // and the initiator reads it in maybe_announce (cadence).
+  core::SyncTier tier = core::SyncTier::kAsync;
+  if (adaptive_) tier = policy_.decide(estimator_.value(), entry_backlog_).tier;
+  tier_.store(static_cast<std::uint8_t>(tier), std::memory_order_release);
+  if (tier == core::SyncTier::kThrottle) ++throttle_rounds_;
+
   // At a quiesced cut the reduced minimum is a true lower bound, and it is
   // monotone: everything below a previous cut's minimum is already
   // committed, and handlers only schedule into the virtual future.
@@ -74,7 +90,9 @@ void GvtFence::reduce() {
   gvt_.store(total.min_ts, std::memory_order_release);
   gvt_trace_.push_back(total.min_ts);
   ++rounds_;
-  if (control_round_) ++sync_rounds_;
+  // Control-triggered rounds and escalated rounds mirror the coroutine
+  // backend's sync_rounds statistic.
+  if (control_round_ || tier == core::SyncTier::kSync) ++sync_rounds_;
 
   bool stop = false;
   if (total.min_ts > end_vt_) {

@@ -68,9 +68,16 @@ class GvtFence {
   /// deposited into a kernel (owned by ThreadEngine, which maintains the
   /// increment-before-push / decrement-after-deposit discipline).
   /// `out_of_time` is polled once per round by the coordinator; returning
-  /// true stops the run incomplete.
+  /// true stops the run incomplete. `policy` is the CA trigger policy
+  /// (hysteresis, EWMA queue peak, deferred escalation — shared semantics
+  /// with the coroutine backend via core/gvt_policy.hpp); it only runs when
+  /// `adaptive` is set (CA-GVT and epoch kinds), and it is coordinator-owned
+  /// state: party 0 steps it once per round inside reduce(), publishing the
+  /// next round's tier through tier().
   GvtFence(int parties, double end_vt, std::atomic<std::int64_t>& in_flight,
-           std::function<bool()> out_of_time);
+           std::function<bool()> out_of_time,
+           core::CaTriggerPolicy policy = core::CaTriggerPolicy{},
+           bool adaptive = false);
 
   /// Request a round. `control` marks it as triggered by CA-GVT's control
   /// policy (queue occupancy / low efficiency) rather than plain cadence;
@@ -96,9 +103,20 @@ class GvtFence {
   double efficiency() const { return efficiency_.load(std::memory_order_acquire); }
   double last_gvt() const { return gvt_.load(std::memory_order_acquire); }
 
+  /// Tier decided by the adaptive policy after the last round (kAsync for
+  /// non-adaptive kinds). Workers apply it at adoption: kThrottle/kSync
+  /// engage the execution clamp, kAsync releases it; kSync additionally
+  /// shortens the initiator's announce cadence (the quiesced-round analogue
+  /// of the coroutine backend's synchronous rounds).
+  core::SyncTier tier() const {
+    return static_cast<core::SyncTier>(tier_.load(std::memory_order_acquire));
+  }
+
   // --- post-join introspection (call after every party thread exited) ----
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t sync_rounds() const { return sync_rounds_; }
+  /// Rounds whose decided tier was kThrottle (clamp engaged, cadence async).
+  std::uint64_t throttle_rounds() const { return throttle_rounds_; }
   bool completed() const { return completed_; }
   const std::vector<double>& gvt_trace() const { return gvt_trace_; }
 
@@ -123,14 +141,21 @@ class GvtFence {
   std::atomic<double> gvt_{0};
   std::atomic<bool> stop_{false};
   std::atomic<double> efficiency_{1.0};
+  std::atomic<std::uint8_t> tier_{0};  // core::SyncTier of the last decision
 
   // Coordinator-only state (party 0 between barriers; main thread after
   // join — thread creation/join provide the happens-before).
   core::EfficiencyEstimator estimator_;
+  core::CaTriggerPolicy policy_;
+  const bool adaptive_;
   bool control_round_ = false;
+  /// In-flight backlog sampled at round entry (before the quiesce drains
+  /// it to zero) — the threads backend's queue-occupancy signal.
+  std::uint64_t entry_backlog_ = 0;
   double last_gvt_value_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t sync_rounds_ = 0;
+  std::uint64_t throttle_rounds_ = 0;
   bool completed_ = true;
   std::vector<double> gvt_trace_;
 };

@@ -62,9 +62,15 @@ ThreadEngine::ThreadEngine(const core::SimulationConfig& cfg, const pdes::Model&
 
   const int parties =
       map_.total_workers() + (cfg_.has_dedicated_mpi() ? cfg_.nodes : 0);
+  // The stateful trigger policy (hysteresis + deferred escalation) lives in
+  // the fence coordinator for the adaptive kinds; the other kinds never run
+  // it and always report SyncTier::kAsync.
+  const bool adaptive =
+      cfg_.gvt == GvtKind::kControlledAsync || cfg_.gvt == GvtKind::kEpoch;
   fence_ = std::make_unique<GvtFence>(
       parties, cfg_.end_vt, in_flight_,
-      [this] { return std::chrono::steady_clock::now() >= deadline_; });
+      [this] { return std::chrono::steady_clock::now() >= deadline_; },
+      core::trigger_policy_from(cfg_), adaptive);
 }
 
 void ThreadEngine::route_externals(Worker& self, int src_node,
@@ -133,31 +139,40 @@ void ThreadEngine::maybe_announce(Worker& self, int w) {
       // Mattern cadence plus the paper's control triggers, with the shared
       // policy arithmetic from core/gvt_policy.hpp. The queue-occupancy
       // trigger fires from ANY worker the moment the in-flight backlog
-      // exceeds the bound; the efficiency trigger shortens the initiator's
-      // cadence while the smoothed estimate is below the threshold.
+      // exceeds the bound (the stateless raw check — the stateful
+      // hysteresis/escalation policy is coordinator-owned inside the
+      // fence); the escalated kSync tier shortens the initiator's cadence.
       const core::CaTriggerPolicy policy{
           cfg_.ca_efficiency_threshold,
           static_cast<std::uint64_t>(cfg_.ca_queue_threshold)};
       const auto backlog = in_flight_.load(std::memory_order_relaxed);
-      if (backlog > 0 && policy.want_sync(1.0, static_cast<std::uint64_t>(backlog))) {
+      if (backlog > 0 && policy.trips(1.0, static_cast<double>(backlog))) {
         fence_->announce(/*control=*/true);
         break;
       }
       if (w != 0) break;
-      const bool degraded = policy.want_sync(fence_->efficiency(), 0);
+      const bool degraded = fence_->tier() == core::SyncTier::kSync;
       const std::uint64_t effective =
           degraded ? std::max<std::uint64_t>(1, interval / 4) : interval;
       if (self.iters_since_round >= effective) fence_->announce(/*control=*/degraded);
       break;
     }
-    case GvtKind::kEpoch:
+    case GvtKind::kEpoch: {
       // The real-thread fence quiesces every worker per round, which
       // collapses the coroutine backend's always-in-flight pipeline into
       // a Mattern-shaped cadence: one initiator, interval-clocked. The
       // epoch protocol itself (tags, tree waves) lives in the simulated
-      // backend; here only the announce discipline differs per kind.
-      if (w == 0 && self.iters_since_round >= interval) fence_->announce();
+      // backend; here only the announce discipline differs per kind. The
+      // escalated kSync tier tightens the cadence the same way CA-GVT's
+      // degraded mode does (the quiesced-epoch analogue); kThrottle leaves
+      // the cadence alone — only the execution clamp engages.
+      if (w != 0) break;
+      const bool degraded = fence_->tier() == core::SyncTier::kSync;
+      const std::uint64_t effective =
+          degraded ? std::max<std::uint64_t>(1, interval / 4) : interval;
+      if (self.iters_since_round >= effective) fence_->announce(/*control=*/degraded);
       break;
+    }
   }
 }
 
@@ -210,6 +225,22 @@ void ThreadEngine::flow_adopt(Worker& self, double gvt) {
   }
 }
 
+void ThreadEngine::policy_adopt(Worker& self, double gvt) {
+  // Apply the fence's decided tier to this worker's execution clamp. The
+  // tier was published by reduce() earlier in the same round, so every
+  // worker reads the fresh decision here (barriers order the accesses).
+  const core::SyncTier tier = fence_->tier();
+  const pdes::VirtualTime width = std::max(cfg_.gvt_throttle_clamp, 1.0);
+  if (tier == core::SyncTier::kAsync) {
+    self.policy_bound = pdes::kVtInfinity;
+  } else if (self.policy_bound == pdes::kVtInfinity) {
+    ++self.gvt_throttle_engagements;
+    self.policy_bound = gvt + width;
+  } else {
+    self.policy_bound = cons::advance_clamp(self.policy_bound, gvt, width);
+  }
+}
+
 FenceContribution ThreadEngine::contribute(Worker& self) {
   FenceContribution c;
   c.min_ts = self.kernel.local_min_ts();
@@ -235,10 +266,13 @@ void ThreadEngine::worker_main(int w) {
   for (;;) {
     drain_inbox(self, node);
     bool executed = false;
+    // The flow clamp and the GVT trigger policy's clamp compose by taking
+    // the tighter bound (same rule as the coroutine backend's worker loop).
+    const pdes::VirtualTime bound = std::min(self.bound, self.policy_bound);
     for (int i = 0; i < cfg_.batch; ++i) {
-      pdes::Outcome out = self.bound == pdes::kVtInfinity
+      pdes::Outcome out = bound == pdes::kVtInfinity
                               ? self.kernel.process_next()
-                              : self.kernel.process_next_bounded(self.bound);
+                              : self.kernel.process_next_bounded(bound);
       if (!out.processed) break;
       executed = true;
       route_externals(self, node, out.external);
@@ -261,6 +295,7 @@ void ThreadEngine::worker_main(int w) {
           [&](double gvt) {
             self.kernel.sample_pool_peak();
             if (flow_on) flow_adopt(self, gvt);
+            policy_adopt(self, gvt);
             self.kernel.fossil_collect(gvt);
           });
       self.iters_since_round = 0;
@@ -333,6 +368,7 @@ core::SimulationResult ThreadEngine::run(double max_wall_seconds) {
       result.flow_throttle_engagements += worker->throttle_engagements;
       result.flow_forced_rounds += worker->forced_rounds;
     }
+    result.gvt_throttle_engagements += worker->gvt_throttle_engagements;
   }
   result.peak_event_pool = result.events.pool_peak;
   result.wall_seconds =
@@ -345,6 +381,7 @@ core::SimulationResult ThreadEngine::run(double max_wall_seconds) {
   result.final_gvt = fence_->last_gvt();
   result.gvt_rounds = fence_->rounds();
   result.sync_rounds = fence_->sync_rounds();
+  result.gvt_throttle_rounds = fence_->throttle_rounds();
   result.gvt_trace = fence_->gvt_trace();
   result.last_global_efficiency = fence_->efficiency();
   return result;

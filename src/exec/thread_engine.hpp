@@ -93,6 +93,11 @@ class ThreadEngine {
     bool red_announced = false;             // one forced announce per round
     std::uint64_t throttle_engagements = 0;
     std::uint64_t forced_rounds = 0;
+
+    // --- GVT trigger-policy clamp (CA-GVT / epoch tiers), owner-thread-only.
+    // Composes with the flow clamp by std::min in the worker loop.
+    pdes::VirtualTime policy_bound = pdes::kVtInfinity;
+    std::uint64_t gvt_throttle_engagements = 0;
   };
 
   void worker_main(int w);
@@ -119,6 +124,10 @@ class ThreadEngine {
   /// detector, reclassify pressure, and engage/advance/release the
   /// throttle clamp with hysteresis (same rule as flow::Controller).
   void flow_adopt(Worker& self, double gvt);
+  /// Apply the fence's decided SyncTier to this worker's policy clamp at
+  /// GVT adoption (engage/advance on kThrottle/kSync, release on kAsync —
+  /// same advance_clamp rule as the coroutine backend's NodeRuntime).
+  void policy_adopt(Worker& self, double gvt);
 
   bool uses_outbox() const { return cfg_.mpi != core::MpiPlacement::kEverywhere; }
 

@@ -78,6 +78,46 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST(DeterminismTest, ClampedEpochsCommitTheSameEventsAsUnclampedRuns) {
+  // Matrix row for the throttle tier: force the clamp permanently on
+  // (threshold 1.0 trips every round, escalate=0 blocks the sync tier) and
+  // verify that clamped runs are bit-reproducible and commit exactly what an
+  // untriggered run of the same algorithm commits. The clamp may only delay
+  // optimistic work, never change its outcome.
+  const SimulationConfig cfg = sweep_config();
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const auto model = models::make_model(
+      "phold", Options::parse_kv("remote=0.1,regional=0.3,epg=500"), map, cfg.end_vt);
+
+  for (const GvtKind kind : {GvtKind::kControlledAsync, GvtKind::kEpoch}) {
+    SimulationConfig plain_cfg = cfg;
+    plain_cfg.gvt = kind;
+    Simulation plain(plain_cfg, *model);
+    const SimulationResult want = plain.run(120.0);
+    ASSERT_TRUE(want.completed) << to_string(kind);
+
+    SimulationConfig clamped_cfg = plain_cfg;
+    clamped_cfg.ca_efficiency_threshold = 1.0;
+    clamped_cfg.gvt_escalate_rounds = 0;
+    clamped_cfg.gvt_throttle_clamp = 2.0;
+    Simulation clamped(clamped_cfg, *model);
+    const SimulationResult first = clamped.run(120.0);
+    const SimulationResult second = clamped.run(120.0);
+
+    ASSERT_TRUE(first.completed) << to_string(kind);
+    EXPECT_EQ(first.sync_rounds, 0u) << to_string(kind);
+    EXPECT_GT(first.gvt_throttle_rounds, 0u) << to_string(kind);
+    // Bit-reproducibility with the clamp engaged.
+    EXPECT_EQ(first.committed_fingerprint, second.committed_fingerprint);
+    EXPECT_DOUBLE_EQ(first.wall_seconds, second.wall_seconds);
+    // Clamp-independence of the committed event set.
+    EXPECT_EQ(first.events.committed, want.events.committed) << to_string(kind);
+    EXPECT_EQ(first.committed_fingerprint, want.committed_fingerprint)
+        << to_string(kind);
+    EXPECT_EQ(first.state_hash, want.state_hash) << to_string(kind);
+  }
+}
+
 TEST(DeterminismTest, SeedsSelectDistinctWorkloads) {
   // The engine seed keys the initial-event uid chain (and through it every
   // model RNG draw), so different seeds give different — but individually

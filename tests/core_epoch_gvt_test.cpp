@@ -204,6 +204,61 @@ TEST(EpochGvtProtocolTest, MaximalThresholdForcesSynchronousEpochs) {
   // Synchronous epochs hold workers at the join barrier: blocked time must
   // show up in the accounting.
   EXPECT_GT(r.gvt_block_seconds, 0.0);
+  // The escalation runway before the first quiesced epoch runs at the
+  // throttle tier with the execution clamp engaged.
+  EXPECT_GT(r.gvt_throttle_rounds, 0u);
+  EXPECT_GT(r.gvt_throttle_engagements, 0u);
+}
+
+TEST(EpochGvtProtocolTest, ThrottledEpochsCommitIdenticallyToSeqref) {
+  // escalate=0 turns the sync tier off: a permanently tripped trigger clamps
+  // every epoch to GVT + clamp while the reductions keep pipelining
+  // asynchronously. The run must never quiesce, must actually engage the
+  // clamp, and — since throttling only delays optimistic execution — must
+  // commit exactly the sequential reference's event set.
+  SimulationConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 3;
+  cfg.lps_per_worker = 8;
+  cfg.end_vt = 30.0;
+  cfg.gvt = GvtKind::kEpoch;
+  cfg.ca_efficiency_threshold = 1.0;  // trips every epoch
+  cfg.gvt_escalate_rounds = 0;        // but can never escalate
+  cfg.gvt_throttle_clamp = 2.0;
+  cfg.seed = 99;
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  models::PholdParams params;
+  params.remote_pct = 0.15;
+  params.regional_pct = 0.40;
+  params.epg_units = 1500;
+  const models::PholdModel model(map, params);
+  Simulation sim(cfg, model);
+  const SimulationResult r = sim.run(240.0);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.sync_rounds, 0u);
+  EXPECT_GT(r.gvt_throttle_rounds, 0u);
+  EXPECT_GT(r.gvt_throttle_engagements, 0u);
+
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  EXPECT_EQ(r.events.committed, ref.committed());
+  EXPECT_EQ(r.committed_fingerprint, ref.fingerprint());
+  EXPECT_EQ(r.state_hash, ref.state_hash());
+}
+
+TEST(EpochGvtProtocolTest, TransientDipThrottlesWithoutQuiescing) {
+  // A short straggler window dents efficiency for an epoch or two; the
+  // hysteresis must absorb it at the throttle tier (clamp engages, the
+  // bad streak never reaches escalate_after), and the perturbed run still
+  // commits the unfaulted run's event set.
+  const SimulationResult dipped =
+      run_epoch(0.8, 16, "straggler:node=2,t=2ms..3ms,slow=8x");
+  const SimulationResult clean = run_epoch(0.8, 16);
+  ASSERT_TRUE(dipped.completed);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_GT(dipped.fault_activations, 0u);
+  EXPECT_EQ(dipped.events.committed, clean.events.committed);
+  EXPECT_EQ(dipped.committed_fingerprint, clean.committed_fingerprint);
 }
 
 TEST(EpochGvtProtocolTest, StalledRankCannotEndAnEpochEarly) {

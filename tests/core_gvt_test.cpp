@@ -76,9 +76,39 @@ TEST(GvtAlgorithmTest, CaWithMaximalThresholdAlwaysSynchronizes) {
   const SimulationResult r = run_with(GvtKind::kControlledAsync, /*threshold=*/1.0);
   EXPECT_TRUE(r.completed);
   ASSERT_GT(r.gvt_rounds, 2u);
-  // Every round after the bootstrap round must run synchronously.
-  EXPECT_GE(r.sync_rounds + 2, r.gvt_rounds);
+  // Threshold 1.0 trips every round, but the tiered policy throttles first:
+  // the barriers only engage once the bad streak reaches gvt_escalate_rounds
+  // (default 3). After the bootstrap round and that escalation runway, every
+  // round must run synchronously.
+  const SimulationConfig cfg = gvt_test_config();
+  const auto runway = 1u + static_cast<unsigned>(cfg.gvt_escalate_rounds);
+  EXPECT_GE(r.sync_rounds + runway, r.gvt_rounds);
   EXPECT_GT(r.sync_rounds, 0u);
+  // The pre-escalation tripped rounds ran at the throttle tier with the
+  // execution clamp engaged.
+  EXPECT_GT(r.gvt_throttle_rounds, 0u);
+  EXPECT_GT(r.gvt_throttle_engagements, 0u);
+}
+
+TEST(GvtAlgorithmTest, CaEscalateZeroThrottlesButNeverSynchronizes) {
+  // escalate=0 disables the synchronous tier entirely: a permanently
+  // tripped policy stays at the throttle tier (clamped, asynchronous) for
+  // the whole run, and the committed events still match the oracle.
+  SimulationConfig cfg = gvt_test_config();
+  cfg.gvt = GvtKind::kControlledAsync;
+  cfg.ca_efficiency_threshold = 1.0;
+  cfg.gvt_escalate_rounds = 0;
+  const pdes::LpMap map = Simulation::make_map(cfg);
+  const models::PholdModel model(map, busy_phold());
+  Simulation sim(cfg, model);
+  const SimulationResult r = sim.run(120.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.sync_rounds, 0u);
+  EXPECT_GT(r.gvt_throttle_rounds, 0u);
+
+  pdes::SequentialReference ref(model, map, {.end_vt = cfg.end_vt, .seed = cfg.seed});
+  ref.run();
+  EXPECT_EQ(r.committed_fingerprint, ref.fingerprint());
 }
 
 TEST(GvtAlgorithmTest, CaQueueTriggerFiresWithoutEfficiencyTrigger) {

@@ -139,6 +139,38 @@ TEST(DifferentialTest, MpiPlacementsAgree) {
   }
 }
 
+TEST(DifferentialTest, ClampedEpochsMatchSeqrefOnBothBackends) {
+  // Throttle-tier matrix row: threshold 1.0 trips the trigger on every
+  // round and escalate=0 pins the policy at the throttle tier, so both
+  // backends run the entire simulation with the execution clamp engaged
+  // (and zero synchronous rounds). Clamping only delays optimistic work;
+  // the committed results must still equal the sequential reference.
+  for (const GvtKind kind : {GvtKind::kControlledAsync, GvtKind::kEpoch}) {
+    SimulationConfig cfg = golden_config();
+    cfg.gvt = kind;
+    cfg.ca_efficiency_threshold = 1.0;
+    cfg.gvt_escalate_rounds = 0;
+    cfg.gvt_throttle_clamp = 2.0;
+    const pdes::LpMap map = core::Simulation::make_map(cfg);
+    const auto model = models::make_model(
+        "phold", Options::parse_kv("remote=0.1,regional=0.3,epg=500"), map, cfg.end_vt);
+    const Oracle want = reference_for(cfg, *model);
+    const std::string tag = std::string("clamped/") + std::string(to_string(kind));
+
+    const SimulationResult coro =
+        run_simulation(cfg, *model, BackendKind::kCoro, 120.0);
+    expect_matches(coro, want, tag + "/coro");
+    EXPECT_EQ(coro.sync_rounds, 0u) << tag;
+    EXPECT_GT(coro.gvt_throttle_rounds, 0u) << tag;
+
+    const SimulationResult threads =
+        run_simulation(cfg, *model, BackendKind::kThreads, 120.0);
+    expect_matches(threads, want, tag + "/threads");
+    EXPECT_GT(threads.gvt_throttle_rounds, 0u) << tag;
+    EXPECT_GT(threads.gvt_throttle_engagements, 0u) << tag;
+  }
+}
+
 TEST(DifferentialTest, ThreadBackendCommittedResultsAreScheduleIndependent) {
   // Back-to-back thread-backend runs interleave differently (real OS
   // scheduling), yet the committed results must be identical every time.
